@@ -1,0 +1,138 @@
+(* Drive a full URSA deployment from the command line.
+
+   Usage:
+     dune exec bin/ursa_cli.exe -- search "gateway routing" --k 5
+     dune exec bin/ursa_cli.exe -- fetch 17
+     dune exec bin/ursa_cli.exe -- search "naming" --spread --docs 200 *)
+
+open Cmdliner
+open Ntcs
+
+let build_deployment ~spread ~docs =
+  let cluster =
+    if spread then
+      Cluster.build
+        ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan); ("ring", Ntcs_sim.Net.Mbx_ring) ]
+        ~machines:
+          [
+            ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]);
+            ("bridge", Ntcs_sim.Machine.Sun3, [ "ether"; "ring" ]);
+            ("ap1", Ntcs_sim.Machine.Apollo, [ "ring" ]);
+            ("ap2", Ntcs_sim.Machine.Apollo, [ "ring" ]);
+          ]
+        ~gateways:[ ("bridge-gw", "bridge", [ "ether"; "ring" ]) ]
+        ~ns:"vax1" ()
+    else
+      Cluster.build
+        ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
+        ~machines:
+          [
+            ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]);
+            ("sun1", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+            ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+          ]
+        ~ns:"vax1" ()
+  in
+  Cluster.settle cluster;
+  let corpus = Ursa.Corpus.generate docs in
+  let machines = if spread then [ "ap1"; "ap2" ] else [ "sun1"; "sun2" ] in
+  Ursa.Host.deploy cluster ~machines ~partitions:4 ~corpus ~search_machine:"vax1";
+  Cluster.settle ~dt:20_000_000 cluster;
+  (cluster, corpus)
+
+let with_host ~spread ~docs f =
+  let cluster, _corpus = build_deployment ~spread ~docs in
+  let exit_code = ref 0 in
+  ignore
+    (Cluster.spawn cluster ~machine:"vax1" ~name:"cli-user" (fun node ->
+         match Commod.bind node ~name:"cli-user" with
+         | Error e ->
+           Printf.printf "bind failed: %s\n" (Errors.to_string e);
+           exit_code := 1
+         | Ok commod -> f (Ursa.Host.create commod) exit_code));
+  Cluster.settle ~dt:240_000_000 cluster;
+  !exit_code
+
+let search_cmd =
+  let query = Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY") in
+  let k = Arg.(value & opt int 10 & info [ "k" ] ~doc:"Number of hits to return.") in
+  let spread =
+    Arg.(value & flag & info [ "spread" ] ~doc:"Put backends across a gateway.")
+  in
+  let docs = Arg.(value & opt int 120 & info [ "docs" ] ~doc:"Corpus size.") in
+  let run query k spread docs =
+    with_host ~spread ~docs (fun host exit_code ->
+        match Ursa.Host.search ~k ~timeout_us:60_000_000 host query with
+        | Error e ->
+          Printf.printf "search failed: %s\n" (Errors.to_string e);
+          exit_code := 1
+        | Ok reply ->
+          Printf.printf "%d partitions answered; top %d hits:\n"
+            reply.Ursa.Ursa_msg.sr_partitions (List.length reply.Ursa.Ursa_msg.sr_hits);
+          List.iter
+            (fun hit ->
+              Printf.printf "  doc %4d  score %6d\n" hit.Ursa.Ursa_msg.h_doc
+                hit.Ursa.Ursa_msg.h_score_milli)
+            reply.Ursa.Ursa_msg.sr_hits)
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Ranked search across the distributed index.")
+    Term.(const run $ query $ k $ spread $ docs)
+
+let fetch_cmd =
+  let doc_id = Arg.(required & pos 0 (some int) None & info [] ~docv:"DOC") in
+  let spread = Arg.(value & flag & info [ "spread" ]) in
+  let docs = Arg.(value & opt int 120 & info [ "docs" ]) in
+  let run doc_id spread docs =
+    with_host ~spread ~docs (fun host exit_code ->
+        match Ursa.Host.fetch ~timeout_us:60_000_000 host ~doc:doc_id with
+        | Error e ->
+          Printf.printf "fetch failed: %s\n" (Errors.to_string e);
+          exit_code := 1
+        | Ok (title, body) -> Printf.printf "%s\n\n%s\n" title body)
+  in
+  Cmd.v
+    (Cmd.info "fetch" ~doc:"Fetch one document from the distributed store.")
+    Term.(const run $ doc_id $ spread $ docs)
+
+let status_cmd =
+  let spread = Arg.(value & flag & info [ "spread" ]) in
+  let docs = Arg.(value & opt int 120 & info [ "docs" ]) in
+  let run spread docs =
+    with_host ~spread ~docs (fun host exit_code ->
+        ignore host;
+        ignore exit_code;
+        ())
+    |> ignore;
+    (* Rebuild so we can inspect the naming service directly. *)
+    let cluster, _ = build_deployment ~spread ~docs in
+    let printed = ref false in
+    ignore
+      (Cluster.spawn cluster ~machine:"vax1" ~name:"status" (fun node ->
+           match Commod.bind node ~name:"status" with
+           | Error _ -> ()
+           | Ok commod ->
+             let show label attrs =
+               match Ali_layer.locate_attrs commod attrs with
+               | Error e -> Printf.printf "  %-12s error: %s
+" label (Errors.to_string e)
+               | Ok addrs ->
+                 Printf.printf "  %-12s %d module(s):" label (List.length addrs);
+                 List.iter (fun a -> Printf.printf " %s" (Addr.to_string a)) addrs;
+                 print_newline ()
+             in
+             print_endline "URSA deployment status (from the naming service):";
+             show "index" [ ("service", Ursa.Servers.index_service) ];
+             show "doc-store" [ ("service", Ursa.Servers.doc_service) ];
+             show "search" [ ("service", Ursa.Servers.search_service) ];
+             printed := true));
+    Cluster.settle ~dt:60_000_000 cluster;
+    if !printed then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"List the deployed URSA modules via attribute-based naming.")
+    Term.(const run $ spread $ docs)
+
+let () =
+  let info = Cmd.info "ursa_cli" ~doc:"URSA information retrieval over the NTCS." in
+  exit (Cmd.eval' (Cmd.group info [ search_cmd; fetch_cmd; status_cmd ]))

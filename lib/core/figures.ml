@@ -1,0 +1,90 @@
+(* The paper's figures (2-1 ... 2-4), regenerated. They are architecture
+   diagrams, so the faithful reproduction is to print the layering annotated
+   with the modules that actually implement it. Kept textually close to the
+   originals; used by bin/architecture.exe and the experiment harness. *)
+
+let fig_2_1 () =
+  print_string
+    {|
+Figure 2-1: The Application's View of the NTCS
+(modules: Commod / Ali_layer — lib/core/commod.ml, ali_layer.ml)
+
+    +--------------------------+      +--------------------------+
+    |   Application Process    |      |   Application Process    |
+    |  +--------------------+  |      |  +--------------------+  |
+    |  |       ComMod       |  |      |  |       ComMod       |  |
+    |  +--------------------+  |      |  +--------------------+  |
+    +------------|-------------+      +-------------|------------+
+                 |                                  |
+    =============+========== the NTCS ==============+=============
+                 |                                  |
+         (native IPCS: TCP)                 (native IPCS: MBX)
+|}
+
+let fig_2_2 () =
+  print_string
+    {|
+Figure 2-2: The Nucleus Internal Layering
+(modules: Lcm_layer, Ip_layer + Gateway, Nd_layer, Std_if)
+
+    +---------------------------------------------------+
+    |  LCM-Layer   logical connection maintenance       |   lcm_layer.ml
+    |              relocation, forwarding, dgram        |
+    +---------------------------------------------------+
+    |  IP-Layer    internet virtual circuits (IVCs)     |   ip_layer.ml
+    |              chained LVCs via Gateway modules     |   gateway.ml
+    +---------------------------------------------------+
+    |  ND-Layer    network dependent; STD-IF            |   nd_layer.ml
+    |              local virtual circuits (LVCs)        |   std_if.ml
+    +---------------------------------------------------+
+    |  native IPCS:   Unix TCP      |   Apollo MBX      |   ipcs_tcp.ml
+    |                 (streams)     |   (mailboxes)     |   ipcs_mbx.ml
+    +---------------------------------------------------+
+
+  A Gateway binds one ComMod per network; chained circuits are spliced
+  by label inside the gateway, so only the ND-Layer is network dependent.
+|}
+
+let fig_2_3 () =
+  print_string
+    {|
+Figure 2-3: The Naming Service Protocol (NSP) Layer
+(modules: Nsp_layer, Name_server)
+
+      ComMod                                   Name Server module
+    +-------------+                          +--------------------+
+    |  ALI-Layer  |                          |  name/address DB   |
+    +-------------+     NS requests ride     |  (name_server.ml)  |
+    |  NSP-Layer  | ---- the Nucleus as ---> +--------------------+
+    +-------------+     ordinary messages    |      ComMod        |
+    |   Nucleus   | <----------------------- |      Nucleus       |
+    +-------------+    (recursion: the       +--------------------+
+                        service the Nucleus
+                        itself consumes)
+
+  The NSP-Layer fully isolates the ComMod from the naming service
+  implementation: centralized, replicated (E10) or attribute-based —
+  nothing above it changes.
+|}
+
+let fig_2_4 () =
+  print_string
+    {|
+Figure 2-4: The ComMod Internal Layering
+(modules: Ali_layer, Nsp_layer, then the Nucleus of Fig. 2-2)
+
+    +---------------------------------------------------+
+    |  ALI-Layer   application interface primitives     |   ali_layer.ml
+    |              parameter checks, tailored errors    |
+    +---------------------------------------------------+
+    |  NSP-Layer   naming service access point          |   nsp_layer.ml
+    +---------------------------------------------------+
+    |  Nucleus     LCM / IP / ND (Figure 2-2)           |
+    +---------------------------------------------------+
+|}
+
+let all () =
+  fig_2_1 ();
+  fig_2_2 ();
+  fig_2_3 ();
+  fig_2_4 ()

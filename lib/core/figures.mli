@@ -1,0 +1,17 @@
+(** The paper's figures (2-1 … 2-4), regenerated: architecture diagrams
+    printed with the modules that implement each layer. Used by
+    [bin/architecture.exe] and the experiment harness. *)
+
+val fig_2_1 : unit -> unit
+(** The application's view of the NTCS. *)
+
+val fig_2_2 : unit -> unit
+(** The Nucleus internal layering (LCM / IP+Gateway / ND / native IPCS). *)
+
+val fig_2_3 : unit -> unit
+(** The Naming Service Protocol layer and its recursion. *)
+
+val fig_2_4 : unit -> unit
+(** The ComMod internal layering (ALI / NSP / Nucleus). *)
+
+val all : unit -> unit

@@ -1,0 +1,257 @@
+(* The Gateway module (§4).
+
+   One portable piece of code, instantiated once per gateway machine,
+   bridging any set of networks: "the same Gateway module [can] be used for
+   all networks and machines. The ability for each Gateway module to
+   communicate with different networks is handled by the independent ComMods
+   with which it binds. Each ComMod is bound with an ND-Layer designed for
+   one of the networks."
+
+   Gateways splice pairs of circuit legs by label. They never talk to each
+   other outside the circuit chain (§4.2); every piece of topology knowledge
+   they need comes from the naming service, with which they register like
+   any application module (§4.1). Prime gateways adopt pre-assigned
+   well-known addresses instead of registering (§3.4); all others register
+   and are found through the naming service. *)
+
+open Ntcs_sim
+open Ntcs_ipcs
+
+type leg = {
+  lg_net : Net.id;
+  lg_commod : Commod.t;
+  lg_circuit : Nd_layer.circuit;
+  lg_label : int;
+}
+
+type t = {
+  node : Node.t;
+  gw_name : string;
+  nets : Net.id list;
+  prime_addrs : (Net.id * Addr.t) list; (* pre-assigned well-known addresses *)
+  prime_phys : (Net.id * Phys_addr.t list) list; (* fixed listening resources *)
+  mutable commods : (Net.id * Commod.t) list;
+  events : (Net.id * Commod.t * Ip_layer.gw_event) Sched.Mailbox.mb;
+  (* (net of receiving commod, circuit id, label) -> the other leg *)
+  splices : (Net.id * int * int, leg) Hashtbl.t;
+  mutable running : bool;
+}
+
+let create node ~name ~nets ?(prime_addrs = []) ?(prime_phys = []) () =
+  {
+    node;
+    gw_name = name;
+    nets;
+    prime_addrs;
+    prime_phys;
+    commods = [];
+    events = Sched.Mailbox.create (Node.sched node);
+    splices = Hashtbl.create 32;
+    running = true;
+  }
+
+let metrics t = Node.metrics t.node
+let trace t ~cat detail = Node.record t.node ~cat ~actor:t.gw_name detail
+
+let spans_csv t = String.concat "," (List.map string_of_int t.nets)
+
+let leg_key (net : Net.id) (circuit : Nd_layer.circuit) label =
+  (net, circuit.Nd_layer.cid, label)
+
+let send_reject commod circuit ~(h : Proto.header) reason =
+  let reject =
+    Proto.make_header ~kind:Proto.Ivc_reject ~src:(Nd_layer.my_addr (Commod.nd commod))
+      ~dst:h.Proto.src ~ivc:h.Proto.ivc ~payload_len:0 ()
+  in
+  ignore
+    (Nd_layer.send_frame circuit reject
+       (Ntcs_wire.Packed.run_pack Proto.reason_codec reason))
+
+(* Establish the next leg of a chained IVC and splice it to the inbound one.
+   Runs in its own worker process: it performs naming-service lookups and a
+   blocking channel open, and the gateway must keep forwarding meanwhile. *)
+let handle_open t (in_net : Net.id) (in_commod : Commod.t) in_circuit (h : Proto.header)
+    (req : Proto.ivc_open) =
+  let target =
+    match req.Proto.route with [] -> req.Proto.final_dst | next :: _ -> next
+  in
+  let resolver = Commod.resolver in_commod in
+  match Router.locate t.node resolver target with
+  | Error e ->
+    Ntcs_util.Metrics.incr (metrics t) "gw.open_failures";
+    send_reject in_commod in_circuit ~h (Errors.to_string e)
+  | Ok (phys_candidates, target_nets) -> (
+    (* Pick the outbound ComMod: one of ours attached to a network the
+       target is on. *)
+    let out =
+      List.find_opt (fun (net, _) -> List.mem net target_nets) t.commods
+    in
+    match out with
+    | None ->
+      Ntcs_util.Metrics.incr (metrics t) "gw.open_failures";
+      send_reject in_commod in_circuit ~h "no outbound network"
+    | Some (out_net, out_commod) -> (
+      let out_nd = Commod.nd out_commod in
+      let circuit_result =
+        match Nd_layer.find_circuit out_nd target with
+        | Some c -> Ok c
+        | None ->
+          let rec try_phys = function
+            | [] -> Error Errors.Unreachable
+            | phys :: rest -> (
+              match Nd_layer.open_circuit out_nd ~phys with
+              | Ok c -> Ok c
+              | Error _ when rest <> [] -> try_phys rest
+              | Error _ as e -> e)
+          in
+          try_phys phys_candidates
+      in
+      match circuit_result with
+      | Error e ->
+        Ntcs_util.Metrics.incr (metrics t) "gw.open_failures";
+        send_reject in_commod in_circuit ~h (Errors.to_string e)
+      | Ok out_circuit ->
+        let out_label = Registry.fresh_label t.node.Node.ipcs in
+        Hashtbl.replace t.splices
+          (leg_key in_net in_circuit h.Proto.ivc)
+          { lg_net = out_net; lg_commod = out_commod; lg_circuit = out_circuit;
+            lg_label = out_label };
+        Hashtbl.replace t.splices
+          (leg_key out_net out_circuit out_label)
+          { lg_net = in_net; lg_commod = in_commod; lg_circuit = in_circuit;
+            lg_label = h.Proto.ivc };
+        let body =
+          Ntcs_wire.Packed.run_pack Proto.ivc_open_codec
+            { req with Proto.route = (match req.Proto.route with [] -> [] | _ :: r -> r) }
+        in
+        let fwd =
+          { h with Proto.dst = target; ivc = out_label; hops = h.Proto.hops + 1 }
+        in
+        Ntcs_util.Metrics.incr (metrics t) "gw.opens";
+        trace t ~cat:"gw.splice"
+          (Printf.sprintf "net%d label %d <-> net%d label %d (dst %s)" in_net h.Proto.ivc
+             out_net out_label (Addr.to_string req.Proto.final_dst));
+        (match Nd_layer.send_frame out_circuit fwd body with
+         | Ok () -> ()
+         | Error e ->
+           Hashtbl.remove t.splices (leg_key in_net in_circuit h.Proto.ivc);
+           Hashtbl.remove t.splices (leg_key out_net out_circuit out_label);
+           send_reject in_commod in_circuit ~h (Errors.to_string e))))
+
+let remove_splice_pair t in_key (out_leg : leg) =
+  Hashtbl.remove t.splices in_key;
+  Hashtbl.remove t.splices (leg_key out_leg.lg_net out_leg.lg_circuit out_leg.lg_label)
+
+(* Forward one frame across a splice, label-swapped. Messages can sit in a
+   dead leg's queue and be lost during reconfiguration — "for all practical
+   purposes, this is indistinguishable from the issues already discussed due
+   to dynamic reconfiguration" (§4.3). *)
+let handle_frame t (net : Net.id) (_commod : Commod.t) circuit (h : Proto.header) payload =
+  let key = leg_key net circuit h.Proto.ivc in
+  match Hashtbl.find_opt t.splices key with
+  | None -> Ntcs_util.Metrics.incr (metrics t) "gw.orphan_frames"
+  | Some out ->
+    let fwd = { h with Proto.ivc = out.lg_label; hops = h.Proto.hops + 1 } in
+    Ntcs_util.Metrics.incr (metrics t) "gw.forwards";
+    (match Nd_layer.send_frame out.lg_circuit fwd payload with
+     | Ok () -> ()
+     | Error _ ->
+       (* Outbound leg just died: tear the chain down toward the inbound
+          side. The reader on the dead leg will handle the other side. *)
+       let close =
+         Proto.make_header ~kind:Proto.Ivc_close
+           ~src:(Nd_layer.my_addr (Commod.nd out.lg_commod))
+           ~dst:h.Proto.src ~ivc:h.Proto.ivc ~payload_len:0 ()
+       in
+       ignore
+         (Nd_layer.send_frame circuit close
+            (Ntcs_wire.Packed.run_pack Proto.reason_codec "leg failed"));
+       remove_splice_pair t key out);
+    if h.Proto.kind = Proto.Ivc_close then remove_splice_pair t key out
+
+(* A whole circuit died: cascade IVC_CLOSE across every splice riding it
+   (§4.3), in both directions. *)
+let handle_down t (net : Net.id) circuit =
+  let affected =
+    Hashtbl.fold
+      (fun (k_net, k_cid, k_label) out acc ->
+        if k_net = net && k_cid = circuit.Nd_layer.cid then ((k_net, k_cid, k_label), out) :: acc
+        else acc)
+      t.splices []
+  in
+  List.iter
+    (fun (key, (out : leg)) ->
+      let close =
+        Proto.make_header ~kind:Proto.Ivc_close
+          ~src:(Nd_layer.my_addr (Commod.nd out.lg_commod))
+          ~dst:(Nd_layer.my_addr (Commod.nd out.lg_commod)) (* matched by label, not address *)
+          ~ivc:out.lg_label ~payload_len:0 ()
+      in
+      ignore
+        (Nd_layer.send_frame out.lg_circuit close
+           (Ntcs_wire.Packed.run_pack Proto.reason_codec "upstream circuit failed"));
+      Ntcs_util.Metrics.incr (metrics t) "gw.cascade_closes";
+      remove_splice_pair t key out)
+    affected
+
+(* The gateway process body. *)
+let serve t () =
+  (* Bind one ComMod per bridged network. *)
+  t.commods <-
+    List.map
+      (fun net ->
+        let name = Printf.sprintf "gw/%s@%d" t.gw_name net in
+        let fixed = List.assoc_opt net t.prime_phys in
+        match Commod.bind t.node ~name ~allowed_nets:[ net ] ?fixed ~register_name:false with
+        | Ok c -> (net, c)
+        | Error e -> failwith ("gateway bind failed: " ^ Errors.to_string e))
+      t.nets;
+  (* Prime gateways adopt their well-known addresses; others register with
+     the naming service, carrying their topology as attributes. *)
+  List.iter
+    (fun (net, commod) ->
+      match List.assoc_opt net t.prime_addrs with
+      | Some addr -> Nd_layer.set_my_addr (Commod.nd commod) addr
+      | None ->
+        let attrs =
+          [
+            (Router.attr_gateway, "yes");
+            (Router.attr_net, string_of_int net);
+            (Router.attr_spans, spans_csv t);
+            ("service", "gateway/" ^ t.gw_name);
+          ]
+        in
+        (match Commod.register commod ~attrs with
+         | Ok _ -> ()
+         | Error e ->
+           trace t ~cat:"gw.register_fail"
+             (Printf.sprintf "net %d: %s" net (Errors.to_string e))))
+    t.commods;
+  (* Route every ComMod's gateway events into one mailbox. *)
+  List.iter
+    (fun (net, commod) ->
+      Ip_layer.set_gateway_handler (Commod.ip commod) (fun ev ->
+          Sched.Mailbox.send t.events (net, commod, ev)))
+    t.commods;
+  trace t ~cat:"gw.up" (Printf.sprintf "bridging nets [%s]" (spans_csv t));
+  while t.running do
+    match Sched.Mailbox.recv t.events with
+    | None -> ()
+    | Some (net, commod, ev) -> (
+      match ev with
+      | Ip_layer.Gw_open (circuit, h, req) ->
+        (* Worker process: the open blocks on naming and channel setup. *)
+        ignore
+          (World.spawn (Node.world t.node) ~machine:(Node.machine t.node)
+             ~name:(Printf.sprintf "%s/open-worker" t.gw_name) (fun () ->
+               handle_open t net commod circuit h req))
+      | Ip_layer.Gw_frame (circuit, h, payload) ->
+        ignore (handle_frame t net commod circuit h payload)
+      | Ip_layer.Gw_down circuit -> handle_down t net circuit)
+  done
+
+let stop t = t.running <- false
+
+let splice_count t = Hashtbl.length t.splices
+
+let commods t = t.commods

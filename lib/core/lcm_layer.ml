@@ -1,0 +1,461 @@
+(* The Logical Connection Maintenance layer (§2.2, §3.5).
+
+   "Its primary function is to relocate modules which may have moved, and to
+   recover from broken connections, though it also provides a connectionless
+   protocol. No explicit open or close primitives are provided at the
+   Nucleus interface; messages are simply sent/received directly to/from the
+   desired destinations, with the underlying IVCs being established as
+   needed."
+
+   The address-fault path follows the paper exactly: a failed send closes
+   the channel, the local forwarding-address table is consulted, then the
+   fault handler asks the NSP-layer for a forwarding UAdd; a hit is entered
+   in the forwarding table and the send proceeds "in exactly the same manner
+   as during an initial connection". The §6.3 pathology — the fault handler
+   recursing through the NSP when the broken circuit *is* the name server's —
+   is reproduced verbatim, together with the paper's patch (the LCM
+   special-cases the name server's address, "although it also should not
+   know of the Name Server"); [Node.config.ns_fault_guard] switches between
+   the two behaviours.
+
+   One dispatcher process per ComMod pumps ND events through the IP-layer
+   and routes application traffic into the inbox / reply ivars. *)
+
+open Ntcs_sim
+open Ntcs_wire
+
+type envelope = {
+  env_src : Addr.t;
+  env_kind : [ `Data | `Dgram ];
+  env_app_tag : int;
+  env_mode : Convert.mode;
+  env_src_order : Endian.order;
+  env_data : Bytes.t;
+  env_conv : int; (* nonzero: the sender is blocked in send_sync awaiting a reply *)
+  env_seq : int; (* sender's LCM sequence number *)
+}
+
+type t = {
+  node : Node.t;
+  nd : Nd_layer.t;
+  ip : Ip_layer.t;
+  track : Recursion.t;
+  app_inbox : envelope Sched.Mailbox.mb;
+  stash : envelope Queue.t; (* set aside by tag-filtered receives *)
+  waiting : (int, reply_slot) Hashtbl.t; (* conversation id -> waiter *)
+  forwarding : (Addr.t, Addr.t) Hashtbl.t; (* old UAdd -> replacement UAdd *)
+  last_seq : (Addr.t, int) Hashtbl.t; (* per-source high-water mark (§3.5 audit) *)
+  mutable fault_oracle : (Addr.t -> (Addr.t option, Errors.t) result) option;
+  mutable ns_addr : Addr.t option; (* who the name server is, for the guard *)
+  mutable next_conv : int;
+  mutable next_seq : int;
+  mutable monitor_suppress : bool;
+  mutable dispatcher : Sched.pid option;
+  mutable on_peer_down : (Addr.t -> unit) option;
+  mutable running : bool;
+  counters : counters;
+}
+
+and counters = {
+  mutable c_sent : int;
+  mutable c_received : int;
+  mutable c_sync_calls : int;
+  mutable c_faults : int;
+}
+
+and reply_slot = { rs_dst : Addr.t; rs_ivar : (envelope, Errors.t) result Sched.Ivar.ivar }
+
+let metrics t = Node.metrics t.node
+let trace t ~cat detail = Node.record t.node ~cat ~actor:t.nd.Nd_layer.owner detail
+
+let set_fault_oracle t f = t.fault_oracle <- Some f
+let set_ns_addr t a = t.ns_addr <- Some a
+let set_on_peer_down t f = t.on_peer_down <- Some f
+
+let fresh_conv t =
+  let c = t.next_conv in
+  t.next_conv <- c + 1;
+  c
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+(* --- the monitor / time-service hooks (§6.1) --- *)
+
+let monitor_event t kind detail =
+  if t.node.Node.config.Node.monitoring && not t.monitor_suppress then begin
+    match t.node.Node.hooks.Node.on_event with
+    | None -> ()
+    | Some hook ->
+      (* "control passes to the LCM-layer, which generates a time stamp for
+         monitor data. A distributed time primitive is called, which may
+         recursively call on the ComMod ..." — the hook and the timestamp
+         function are installed by the DRTS and may both re-enter us. *)
+      let ts =
+        if t.node.Node.config.Node.timestamps then t.node.Node.hooks.Node.timestamp ()
+        else Node.now t.node
+      in
+      hook kind (Printf.sprintf "t=%d %s" ts detail)
+  end
+
+(* --- the address-fault handler (§3.5 / §6.3) --- *)
+
+let rec follow_forwarding t addr n =
+  if n <= 0 then addr
+  else begin
+    match Hashtbl.find_opt t.forwarding addr with
+    | Some next -> follow_forwarding t next (n - 1)
+    | None -> addr
+  end
+
+let is_ns t addr = match t.ns_addr with Some a -> Addr.equal a addr | None -> false
+
+(* Handle an address fault for [dst]. Returns the address to retry with
+   (possibly the same, after clearing state for a clean reconnect), or an
+   error if the destination is gone for good. *)
+let address_fault t ~dst =
+  t.counters.c_faults <- t.counters.c_faults + 1;
+  Ntcs_util.Metrics.incr (metrics t) "lcm.addr_faults";
+  trace t ~cat:"lcm.fault" (Addr.to_string dst);
+  (* The channel just failed, so the local tables were already consulted to
+     no avail (§3.5). Next stop: the fault handler proper. *)
+  match Hashtbl.find_opt t.forwarding dst with
+  | Some fwd -> Ok fwd
+  | None ->
+    if is_ns t dst && t.node.Node.config.Node.ns_fault_guard then begin
+      (* The paper's patch: the only layer that could stop the NS fault
+         recursion is us, "although it also should not know of the Name
+         Server". Reconnect through the well-known address instead of asking
+         the NSP (which would have to reach the name server over the very
+         circuit that just died). *)
+      Ntcs_util.Metrics.incr (metrics t) "lcm.ns_guard_hits";
+      Ip_layer.forget_peer t.ip dst;
+      Ok dst
+    end
+    else begin
+      match t.fault_oracle with
+      | None -> Error Errors.Destination_dead
+      | Some oracle -> (
+        Ntcs_util.Metrics.incr (metrics t) "lcm.fault_queries";
+        match oracle dst with
+        | Error e -> Error e
+        | Ok (Some replacement) ->
+          Hashtbl.replace t.forwarding dst replacement;
+          Ntcs_util.Metrics.incr (metrics t) "lcm.relocations";
+          trace t ~cat:"lcm.relocate"
+            (Printf.sprintf "%s -> %s" (Addr.to_string dst) (Addr.to_string replacement));
+          Ok replacement
+        | Ok None ->
+          (* Original module still alive: "it will attempt to reestablish
+             what appears to be a broken communication link." *)
+          Ip_layer.forget_peer t.ip dst;
+          Ok dst)
+    end
+
+(* --- sending --- *)
+
+let max_fault_retries = 2
+
+(* Datagrams are connectionless (no recovery, §2.2); PINGs are liveness
+   probes and must report on the probed address itself — transparently
+   relocating a probe would make every dead module look alive. *)
+let recoverable_kind = function
+  | Proto.Dgram | Proto.Ping -> false
+  | Proto.Data | Proto.Reply | Proto.Pong | Proto.Hello | Proto.Hello_ack | Proto.Ivc_open
+  | Proto.Ivc_accept | Proto.Ivc_reject | Proto.Ivc_close -> true
+
+let send_frame t ~dst ~kind ~conv ~app_tag payload =
+  let rec go dst attempts =
+    match Ip_layer.get_or_open t.ip ~dst with
+    | Error (Errors.Circuit_failed | Errors.Unreachable | Errors.Timeout)
+      when attempts < max_fault_retries && recoverable_kind kind -> recover dst attempts
+    | Error _ as e -> e
+    | Ok ivc -> (
+      match Ip_layer.send t.ip ivc ~kind ~seq:(fresh_seq t) ~conv ~app_tag payload with
+      | Ok () -> Ok ()
+      | Error _ when attempts < max_fault_retries && recoverable_kind kind ->
+        recover dst attempts
+      | Error _ as e -> e)
+  and recover dst attempts =
+    match address_fault t ~dst with
+    | Error _ as e -> e
+    | Ok dst' -> go dst' (attempts + 1)
+  in
+  let dst = if recoverable_kind kind then follow_forwarding t dst 4 else dst in
+  go dst 0
+
+let send t ~dst ?(app_tag = 0) payload =
+  Recursion.with_entry t.track (fun () ->
+      monitor_event t "send" (Addr.to_string dst);
+      let r = send_frame t ~dst ~kind:Proto.Data ~conv:0 ~app_tag payload in
+      (match r with
+       | Ok () ->
+         t.counters.c_sent <- t.counters.c_sent + 1;
+         Ntcs_util.Metrics.incr (metrics t) "lcm.sends"
+       | Error _ -> Ntcs_util.Metrics.incr (metrics t) "lcm.send_errors");
+      r)
+
+(* Connectionless protocol: single attempt, no relocation, no recovery. *)
+let send_dgram t ~dst ?(app_tag = 0) payload =
+  Recursion.with_entry t.track (fun () ->
+      let r = send_frame t ~dst ~kind:Proto.Dgram ~conv:0 ~app_tag payload in
+      (match r with
+       | Ok () -> Ntcs_util.Metrics.incr (metrics t) "lcm.dgrams"
+       | Error _ -> Ntcs_util.Metrics.incr (metrics t) "lcm.dgram_errors");
+      r)
+
+let await_reply t ~dst ~conv ~timeout_us =
+  let ivar = Sched.Ivar.create (Node.sched t.node) in
+  Hashtbl.replace t.waiting conv { rs_dst = dst; rs_ivar = ivar };
+  let result =
+    match Sched.Ivar.read ~timeout:timeout_us ivar with
+    | Some r -> r
+    | None -> Error Errors.Timeout
+  in
+  Hashtbl.remove t.waiting conv;
+  result
+
+(* Synchronous send/receive/reply conversation (§1.3). *)
+let send_sync t ~dst ?(app_tag = 0) ?timeout_us payload =
+  Recursion.with_entry t.track (fun () ->
+      monitor_event t "send-sync" (Addr.to_string dst);
+      let timeout_us =
+        match timeout_us with
+        | Some v -> v
+        | None -> t.node.Node.config.Node.default_timeout_us
+      in
+      let conv = fresh_conv t in
+      match send_frame t ~dst ~kind:Proto.Data ~conv ~app_tag payload with
+      | Error _ as e -> e
+      | Ok () ->
+        t.counters.c_sent <- t.counters.c_sent + 1;
+        t.counters.c_sync_calls <- t.counters.c_sync_calls + 1;
+        Ntcs_util.Metrics.incr (metrics t) "lcm.sync_sends";
+        await_reply t ~dst ~conv ~timeout_us)
+
+let reply t (env : envelope) ?(app_tag = 0) payload =
+  Recursion.with_entry t.track (fun () ->
+      if env.env_conv = 0 then Error (Errors.Internal "reply to a message that expects none")
+      else begin
+        monitor_event t "reply" (Addr.to_string env.env_src);
+        match Ip_layer.get_or_open t.ip ~dst:env.env_src with
+        | Error _ as e -> e
+        | Ok ivc ->
+          Ip_layer.send t.ip ivc ~kind:Proto.Reply ~seq:(fresh_seq t) ~conv:env.env_conv
+            ~app_tag payload
+      end)
+
+(* Liveness probe: PING / PONG with a conversation id. Used by the naming
+   service to decide whether an old UAdd is "really inactive" (§3.5). *)
+let ping t ~dst ~timeout_us =
+  Recursion.with_entry t.track (fun () ->
+      let conv = fresh_conv t in
+      match
+        send_frame t ~dst ~kind:Proto.Ping ~conv ~app_tag:0
+          (Convert.payload_raw Bytes.empty)
+      with
+      | Error _ as e -> e
+      | Ok () -> (
+        match await_reply t ~dst ~conv ~timeout_us with
+        | Ok _ -> Ok ()
+        | Error _ as e -> e))
+
+(* Take the first stashed envelope accepted by [want], if any. *)
+let take_stashed t want =
+  let n = Queue.length t.stash in
+  let found = ref None in
+  for _ = 1 to n do
+    let env = Queue.pop t.stash in
+    if !found = None && want env then found := Some env else Queue.push env t.stash
+  done;
+  !found
+
+let recv ?timeout_us ?app_tag t =
+  Recursion.with_entry t.track (fun () ->
+      let want env =
+        match app_tag with None -> true | Some tag -> env.env_app_tag = tag
+      in
+      let deadline = Option.map (fun d -> Node.now t.node + d) timeout_us in
+      let rec pull () =
+        let timeout =
+          match deadline with
+          | None -> None
+          | Some dl -> Some (max 0 (dl - Node.now t.node))
+        in
+        match timeout with
+        | Some 0 -> Error Errors.Timeout
+        | _ -> (
+          match Sched.Mailbox.recv ?timeout t.app_inbox with
+          | None -> Error Errors.Timeout
+          | Some env ->
+            if want env then Ok env
+            else begin
+              (* Not for this receive: set it aside for a later one. *)
+              Queue.push env t.stash;
+              pull ()
+            end)
+      in
+      let result =
+        match take_stashed t want with Some env -> Ok env | None -> pull ()
+      in
+      (match result with
+       | Ok env ->
+         t.counters.c_received <- t.counters.c_received + 1;
+         monitor_event t "recv" (Addr.to_string env.env_src)
+       | Error _ -> ());
+      result)
+
+let try_recv t =
+  match take_stashed t (fun _ -> true) with
+  | Some env -> Some env
+  | None -> Sched.Mailbox.recv_opt t.app_inbox
+
+(* --- the dispatcher --- *)
+
+let envelope_of t (d : Ip_layer.delivery) kind =
+  ignore t;
+  {
+    env_src = d.Ip_layer.del_src;
+    env_kind = kind;
+    env_app_tag = d.Ip_layer.del_hdr.Proto.app_tag;
+    env_mode = d.Ip_layer.del_hdr.Proto.mode;
+    env_src_order = d.Ip_layer.del_hdr.Proto.src_order;
+    env_data = d.Ip_layer.del_payload;
+    env_conv = d.Ip_layer.del_hdr.Proto.conv;
+    env_seq = d.Ip_layer.del_hdr.Proto.seq;
+  }
+
+(* Audit per-source sequencing: in a static environment the LCM must never
+   see reordering or duplication; during reconfiguration gaps are expected
+   (dropped messages) but regressions still are not. *)
+let note_seq t src seq =
+  match Hashtbl.find_opt t.last_seq src with
+  | Some last when seq <= last ->
+    Ntcs_util.Metrics.incr (metrics t) "lcm.seq_regressions"
+  | Some last ->
+    if seq > last + 1 then Ntcs_util.Metrics.incr (metrics t) "lcm.seq_gaps";
+    Hashtbl.replace t.last_seq src seq
+  | None -> Hashtbl.replace t.last_seq src seq
+
+let handle_delivery t (d : Ip_layer.delivery) =
+  let h = d.Ip_layer.del_hdr in
+  (match h.Proto.kind with
+   | Proto.Data | Proto.Dgram | Proto.Reply -> note_seq t d.Ip_layer.del_src h.Proto.seq
+   | Proto.Ping | Proto.Pong | Proto.Hello | Proto.Hello_ack | Proto.Ivc_open
+   | Proto.Ivc_accept | Proto.Ivc_reject | Proto.Ivc_close -> ());
+  match h.Proto.kind with
+  | Proto.Data -> Sched.Mailbox.send t.app_inbox (envelope_of t d `Data)
+  | Proto.Dgram -> Sched.Mailbox.send t.app_inbox (envelope_of t d `Dgram)
+  | Proto.Reply -> (
+    match Hashtbl.find_opt t.waiting h.Proto.conv with
+    | Some slot -> ignore (Sched.Ivar.try_fill slot.rs_ivar (Ok (envelope_of t d `Data)))
+    | None -> Ntcs_util.Metrics.incr (metrics t) "lcm.orphan_replies")
+  | Proto.Ping ->
+    (* Answer from the dispatcher itself: liveness must not depend on the
+       application draining its inbox. *)
+    let pong =
+      Proto.make_header ~kind:Proto.Pong ~src:(Nd_layer.my_addr t.nd) ~dst:d.Ip_layer.del_src
+        ~conv:h.Proto.conv ~payload_len:0 ()
+    in
+    (match Ip_layer.find_ivc t.ip d.Ip_layer.del_src with
+     | Some ivc -> ignore (Nd_layer.send_frame ivc.Ip_layer.circuit { pong with Proto.ivc = ivc.Ip_layer.label } Bytes.empty)
+     | None -> ())
+  | Proto.Pong -> (
+    match Hashtbl.find_opt t.waiting h.Proto.conv with
+    | Some slot -> ignore (Sched.Ivar.try_fill slot.rs_ivar (Ok (envelope_of t d `Data)))
+    | None -> ())
+  | Proto.Hello | Proto.Hello_ack | Proto.Ivc_open | Proto.Ivc_accept | Proto.Ivc_reject
+  | Proto.Ivc_close ->
+    (* The IP-layer never delivers these. *)
+    assert false
+
+let peers_down t peers =
+  List.iter
+    (fun peer ->
+      (* Fail conversations that were waiting on this peer: their reply may
+         never come. The caller's fault path takes it from there. *)
+      Hashtbl.iter
+        (fun _ slot ->
+          if Addr.equal slot.rs_dst peer then
+            ignore (Sched.Ivar.try_fill slot.rs_ivar (Error Errors.Circuit_failed)))
+        t.waiting;
+      match t.on_peer_down with Some f -> f peer | None -> ())
+    peers
+
+let dispatcher_loop t =
+  while t.running do
+    match Nd_layer.next_event t.nd with
+    | None -> () (* no timeout given: unreachable *)
+    | Some ev -> (
+      match Ip_layer.handle_event t.ip ev with
+      | Ip_layer.Consumed -> ()
+      | Ip_layer.Down peers -> peers_down t peers
+      | Ip_layer.Deliver d -> handle_delivery t d)
+  done
+
+let create node nd ip =
+  let t =
+    {
+      node;
+      nd;
+      ip;
+      track = Recursion.create ~limit:node.Node.config.Node.recursion_limit ();
+      app_inbox = Sched.Mailbox.create (Node.sched node);
+      stash = Queue.create ();
+      waiting = Hashtbl.create 16;
+      forwarding = Hashtbl.create 8;
+      last_seq = Hashtbl.create 16;
+      fault_oracle = None;
+      ns_addr = None;
+      next_conv = 1;
+      next_seq = 1;
+      monitor_suppress = false;
+      dispatcher = None;
+      on_peer_down = None;
+      running = true;
+      counters = { c_sent = 0; c_received = 0; c_sync_calls = 0; c_faults = 0 };
+    }
+  in
+  let pid =
+    World.spawn (Node.world node) ~machine:(Node.machine node)
+      ~name:(Printf.sprintf "%s/lcm-dispatch" nd.Nd_layer.owner) (fun () -> dispatcher_loop t)
+  in
+  t.dispatcher <- Some pid;
+  t
+
+let shutdown t =
+  t.running <- false;
+  (match t.dispatcher with
+   | Some pid -> Sched.kill (Node.sched t.node) pid
+   | None -> ());
+  Nd_layer.shutdown t.nd
+
+(* Run [f] with monitor reporting suppressed: how the DRTS services send
+   their own traffic without recursing forever (§6.1: "time correction and
+   monitoring are disabled here, to avoid the obvious infinite recursion"). *)
+let without_monitoring t f =
+  let saved = t.monitor_suppress in
+  t.monitor_suppress <- true;
+  Fun.protect ~finally:(fun () -> t.monitor_suppress <- saved) f
+
+let recursion_tracker t = t.track
+let forwarding_entries t = Hashtbl.length t.forwarding
+
+type stats = {
+  st_sent : int;  (* successful sends, sync included *)
+  st_received : int;  (* envelopes handed to the application *)
+  st_sync_calls : int;
+  st_faults : int;  (* address faults handled *)
+  st_forwarding : int;  (* live forwarding-table entries *)
+}
+
+let stats t =
+  {
+    st_sent = t.counters.c_sent;
+    st_received = t.counters.c_received;
+    st_sync_calls = t.counters.c_sync_calls;
+    st_faults = t.counters.c_faults;
+    st_forwarding = Hashtbl.length t.forwarding;
+  }

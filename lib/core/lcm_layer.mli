@@ -1,0 +1,95 @@
+(** The Logical Connection Maintenance layer (§2.2, §3.5).
+
+    "Its primary function is to relocate modules which may have moved, and
+    to recover from broken connections, though it also provides a
+    connectionless protocol. No explicit open or close primitives are
+    provided ...; messages are simply sent/received directly to/from the
+    desired destinations, with the underlying IVCs being established as
+    needed."
+
+    The address-fault path follows §3.5 exactly: failed send → local
+    forwarding table → fault handler → NSP forwarding query → retry "in
+    exactly the same manner as during an initial connection". The §6.3
+    pathology is reproduced verbatim together with the paper's patch;
+    [Node.config.ns_fault_guard] selects the behaviour.
+
+    One dispatcher process per ComMod pumps ND events through the IP-layer
+    and routes traffic to the inbox / reply ivars. *)
+
+open Ntcs_wire
+
+type envelope = {
+  env_src : Addr.t;
+  env_kind : [ `Data | `Dgram ];
+  env_app_tag : int;
+  env_mode : Convert.mode;
+  env_src_order : Endian.order;
+  env_data : Bytes.t;
+  env_conv : int;  (** nonzero: the sender awaits a reply *)
+  env_seq : int;  (** sender's LCM sequence number *)
+}
+
+type t
+
+val create : Node.t -> Nd_layer.t -> Ip_layer.t -> t
+(** Starts the dispatcher process. Call from the owning process. *)
+
+val shutdown : t -> unit
+
+val set_fault_oracle : t -> (Addr.t -> (Addr.t option, Errors.t) result) -> unit
+(** The NSP forwarding query ([Some] = replacement, [None] = still alive). *)
+
+val set_ns_addr : t -> Addr.t -> unit
+(** Who the name server is — consumed by the §6.3 guard. *)
+
+val set_on_peer_down : t -> (Addr.t -> unit) -> unit
+
+(** {1 Communication primitives} *)
+
+val send : t -> dst:Addr.t -> ?app_tag:int -> Convert.payload -> (unit, Errors.t) result
+(** Asynchronous send with transparent fault recovery / relocation. *)
+
+val send_dgram :
+  t -> dst:Addr.t -> ?app_tag:int -> Convert.payload -> (unit, Errors.t) result
+(** Connectionless: single attempt, no relocation, no recovery (§2.2). *)
+
+val send_sync :
+  t ->
+  dst:Addr.t ->
+  ?app_tag:int ->
+  ?timeout_us:int ->
+  Convert.payload ->
+  (envelope, Errors.t) result
+(** Synchronous send / receive / reply conversation. *)
+
+val reply : t -> envelope -> ?app_tag:int -> Convert.payload -> (unit, Errors.t) result
+
+val ping : t -> dst:Addr.t -> timeout_us:int -> (unit, Errors.t) result
+(** Liveness probe; never transparently relocated (a relocated probe would
+    make every dead module look alive). *)
+
+val recv : ?timeout_us:int -> ?app_tag:int -> t -> (envelope, Errors.t) result
+(** Next envelope, optionally only those with a given application tag —
+    mismatches are set aside for later receives, so multiplexed services on
+    one ComMod never steal each other's traffic. *)
+
+val try_recv : t -> envelope option
+
+(** {1 DRTS coupling (§6.1)} *)
+
+val without_monitoring : t -> (unit -> 'a) -> 'a
+(** Run with monitor reporting suppressed — how the DRTS services send their
+    own traffic without "the obvious infinite recursion". *)
+
+val recursion_tracker : t -> Recursion.t
+val forwarding_entries : t -> int
+
+type stats = {
+  st_sent : int;
+  st_received : int;
+  st_sync_calls : int;
+  st_faults : int;
+  st_forwarding : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,343 @@
+(* The Name Server (§3): an active module maintaining the name/address
+   database, itself "nothing more than an application built on the Nucleus".
+
+   It binds a ComMod like everyone else, but with a resolver backed by its
+   own database — the one place the recursion bottoms out. Its address is
+   well known (§3.4); modules bootstrap to it through their preloaded
+   address tables and TAdds.
+
+   §3.5 forwarding logic is implemented as written: on a Forward query the
+   server decides "whether the old UAdd is really inactive" (a liveness
+   ping), maps "the old UAdd to its name, and then look[s] for a similar
+   name in a newer module" — where "similar" honours the attribute-based
+   naming the paper announces as its successor scheme (same "service"
+   attribute counts as similar).
+
+   Replication (§7): any number of peer name servers with distinct server
+   ids; writes are pushed to peers as datagrams (eventual consistency), and
+   a starting replica pulls a full sync from its first reachable peer. *)
+
+let service_attr = "service" (* attribute used for "similar name" matching *)
+
+type record = {
+  mutable r_name : string;
+  r_addr : Addr.t;
+  mutable r_phys : string list;
+  mutable r_nets : int list;
+  mutable r_order : int;
+  mutable r_attrs : (string * string) list;
+  mutable r_alive : bool;
+  mutable r_stamp : int; (* registration time (virtual us): "newer" = larger *)
+}
+
+type t = {
+  node : Node.t;
+  server_id : int;
+  wk_addr : Addr.t;
+  db : (Addr.t, record) Hashtbl.t;
+  peers : Addr.t list; (* other replicas' well-known addresses *)
+  mutable next_value : int;
+  mutable commod : Commod.t option;
+  mutable running : bool;
+  ping_timeout_us : int;
+}
+
+let create node ~server_id ~wk_addr ?(peers = []) () =
+  {
+    node;
+    server_id;
+    wk_addr;
+    db = Hashtbl.create 64;
+    peers;
+    next_value = 1;
+    commod = None;
+    running = false;
+    ping_timeout_us = 400_000;
+  }
+
+let metrics t = Node.metrics t.node
+
+let entry_of_record (r : record) =
+  {
+    Ns_proto.e_name = r.r_name;
+    e_addr = r.r_addr;
+    e_phys = r.r_phys;
+    e_nets = r.r_nets;
+    e_order = r.r_order;
+    e_attrs = r.r_attrs;
+    e_alive = r.r_alive;
+  }
+
+let record_of_entry ~stamp (e : Ns_proto.entry) =
+  {
+    r_name = e.Ns_proto.e_name;
+    r_addr = e.Ns_proto.e_addr;
+    r_phys = e.Ns_proto.e_phys;
+    r_nets = e.Ns_proto.e_nets;
+    r_order = e.Ns_proto.e_order;
+    r_attrs = e.Ns_proto.e_attrs;
+    r_alive = e.Ns_proto.e_alive;
+    r_stamp = stamp;
+  }
+
+let fresh_addr t =
+  let v = t.next_value in
+  t.next_value <- v + 1;
+  Addr.unique ~server_id:t.server_id ~value:v
+
+(* --- queries over the database --- *)
+
+let find_by_name t name =
+  Hashtbl.fold
+    (fun _ r best ->
+      if r.r_alive && String.equal r.r_name name then begin
+        match best with
+        | Some b when b.r_stamp >= r.r_stamp -> best
+        | Some _ | None -> Some r
+      end
+      else best)
+    t.db None
+
+let matches_attrs (r : record) attrs =
+  List.for_all
+    (fun (k, v) ->
+      match List.assoc_opt k r.r_attrs with
+      | Some v' -> String.equal v v'
+      | None -> false)
+    attrs
+
+let find_by_attrs t attrs =
+  Hashtbl.fold (fun _ r acc -> if r.r_alive && matches_attrs r attrs then r :: acc else acc)
+    t.db []
+  |> List.sort (fun a b -> compare a.r_stamp b.r_stamp)
+
+(* "Looking for a similar name in a newer module": same name, or same
+   service attribute, strictly newer, still alive. *)
+let find_replacement t (old : record) =
+  let similar (r : record) =
+    String.equal r.r_name old.r_name
+    ||
+    match (List.assoc_opt service_attr r.r_attrs, List.assoc_opt service_attr old.r_attrs) with
+    | Some a, Some b -> String.equal a b
+    | _ -> false
+  in
+  Hashtbl.fold
+    (fun _ r best ->
+      if r.r_alive && r.r_stamp > old.r_stamp && (not (Addr.equal r.r_addr old.r_addr))
+         && similar r
+      then begin
+        match best with
+        | Some b when b.r_stamp >= r.r_stamp -> best
+        | Some _ | None -> Some r
+      end
+      else best)
+    t.db None
+
+let gateway_records t =
+  Hashtbl.fold
+    (fun _ r acc ->
+      if r.r_alive && List.assoc_opt Router.attr_gateway r.r_attrs = Some "yes" then r :: acc
+      else acc)
+    t.db []
+
+(* --- replication --- *)
+
+let push_to_peers t records =
+  match t.commod with
+  | None -> ()
+  | Some commod ->
+    let payload =
+      Ntcs_wire.Convert.payload_raw
+        (Ns_proto.pack_request
+           (Ns_proto.Sync_push (List.map (fun r -> (r.r_stamp, entry_of_record r)) records)))
+    in
+    List.iter
+      (fun peer ->
+        if not (Addr.equal peer t.wk_addr) then
+          ignore
+            (Lcm_layer.send_dgram (Commod.lcm commod) ~dst:peer ~app_tag:Ns_proto.app_tag
+               payload))
+      t.peers
+
+let merge_entry t (stamp, entry) =
+  let addr = entry.Ns_proto.e_addr in
+  match Hashtbl.find_opt t.db addr with
+  | Some existing when existing.r_stamp >= stamp -> ()
+  | Some _ | None -> Hashtbl.replace t.db addr (record_of_entry ~stamp entry)
+
+let pull_sync t =
+  match t.commod with
+  | None -> ()
+  | Some commod ->
+    let rec try_peers = function
+      | [] -> ()
+      | peer :: rest ->
+        if Addr.equal peer t.wk_addr then try_peers rest
+        else begin
+          match
+            Lcm_layer.send_sync (Commod.lcm commod) ~dst:peer ~app_tag:Ns_proto.app_tag
+              (Ntcs_wire.Convert.payload_raw (Ns_proto.pack_request (Ns_proto.Sync_pull 0)))
+          with
+          | Ok env -> (
+            match Ns_proto.unpack_response env.Lcm_layer.env_data with
+            | Ok (Ns_proto.R_sync entries) -> List.iter (merge_entry t) entries
+            | Ok _ | Error _ -> try_peers rest)
+          | Error _ -> try_peers rest
+        end
+    in
+    try_peers t.peers
+
+(* --- request handling --- *)
+
+let is_alive t commod (r : record) =
+  (* "first determining whether the old UAdd is really inactive" — probe it.
+     The ping rides the NTCS itself (recursion), with monitoring suppressed. *)
+  r.r_alive
+  && Lcm_layer.without_monitoring (Commod.lcm commod) (fun () ->
+         match
+           Lcm_layer.ping (Commod.lcm commod) ~dst:r.r_addr ~timeout_us:t.ping_timeout_us
+         with
+         | Ok () -> true
+         | Error _ -> false)
+
+let handle_request t commod (req : Ns_proto.request) =
+  match req with
+  | Ns_proto.Register { r_name; r_phys; r_nets; r_order; r_attrs } ->
+    let addr = fresh_addr t in
+    let record =
+      {
+        r_name;
+        r_addr = addr;
+        r_phys;
+        r_nets;
+        r_order;
+        r_attrs;
+        r_alive = true;
+        r_stamp = Node.now t.node;
+      }
+    in
+    Hashtbl.replace t.db addr record;
+    Ntcs_util.Metrics.incr (metrics t) "ns.registrations";
+    Node.record t.node ~cat:"ns.register" ~actor:"name-server"
+      (Printf.sprintf "%s -> %s" r_name (Addr.to_string addr));
+    push_to_peers t [ record ];
+    Ns_proto.R_registered addr
+  | Ns_proto.Lookup name -> (
+    Ntcs_util.Metrics.incr (metrics t) "ns.lookups";
+    match find_by_name t name with
+    | Some r -> Ns_proto.R_addr r.r_addr
+    | None -> Ns_proto.R_error "unknown-name")
+  | Ns_proto.Lookup_attrs attrs ->
+    Ntcs_util.Metrics.incr (metrics t) "ns.attr_lookups";
+    Ns_proto.R_entries (List.map entry_of_record (find_by_attrs t attrs))
+  | Ns_proto.Resolve addr -> (
+    Ntcs_util.Metrics.incr (metrics t) "ns.resolves";
+    match Hashtbl.find_opt t.db addr with
+    | Some r -> Ns_proto.R_entry (entry_of_record r)
+    | None -> Ns_proto.R_error "unknown-address")
+  | Ns_proto.Forward old_addr -> (
+    Ntcs_util.Metrics.incr (metrics t) "ns.forward_queries";
+    match Hashtbl.find_opt t.db old_addr with
+    | None -> Ns_proto.R_error "unknown-address"
+    | Some old ->
+      if is_alive t commod old then Ns_proto.R_forward None
+      else begin
+        old.r_alive <- false;
+        match find_replacement t old with
+        | Some fresh ->
+          Node.record t.node ~cat:"ns.forward" ~actor:"name-server"
+            (Printf.sprintf "%s -> %s" (Addr.to_string old_addr) (Addr.to_string fresh.r_addr));
+          Ns_proto.R_forward (Some fresh.r_addr)
+        | None -> Ns_proto.R_error "destination-dead"
+      end)
+  | Ns_proto.Deregister addr -> (
+    match Hashtbl.find_opt t.db addr with
+    | None -> Ns_proto.R_ok
+    | Some r ->
+      r.r_alive <- false;
+      r.r_stamp <- Node.now t.node;
+      push_to_peers t [ r ];
+      Ns_proto.R_ok)
+  | Ns_proto.List_gateways -> Ns_proto.R_entries (List.map entry_of_record (gateway_records t))
+  | Ns_proto.Sync_pull since ->
+    let fresh =
+      Hashtbl.fold
+        (fun _ r acc -> if r.r_stamp > since then (r.r_stamp, entry_of_record r) :: acc else acc)
+        t.db []
+    in
+    Ns_proto.R_sync fresh
+  | Ns_proto.Sync_push entries ->
+    List.iter (merge_entry t) entries;
+    Ns_proto.R_ok
+
+(* The Name Server's resolver answers from its own database: no pings here —
+   a fault inside the server's own sends must not recurse into more sends. *)
+let local_resolver t =
+  {
+    Router.rv_resolve =
+      (fun addr ->
+        match Hashtbl.find_opt t.db addr with
+        | Some r -> Ok (entry_of_record r)
+        | None -> Error Errors.Unknown_address);
+    rv_gateways = (fun () -> Ok (List.map entry_of_record (gateway_records t)));
+    rv_forward =
+      (fun addr ->
+        match Hashtbl.find_opt t.db addr with
+        | None -> Error Errors.Unknown_address
+        | Some old -> (
+          match find_replacement t old with
+          | Some fresh -> Ok (Some fresh.r_addr)
+          | None -> Ok None));
+  }
+
+(* Body of the Name Server process. Spawn with [World.spawn]. [fixed] are
+   the pre-agreed physical addresses every ComMod's well-known table points
+   at (§3.4). *)
+let serve ?fixed t () =
+  let commod =
+    Commod.bind_with_resolver ?fixed t.node
+      ~name:(Printf.sprintf "name-server.%d" t.server_id)
+      ~resolver:(local_resolver t)
+  in
+  (* The server's address is well known: no registration, just adopt it. *)
+  Nd_layer.set_my_addr (Commod.nd commod) t.wk_addr;
+  t.commod <- Some commod;
+  (* Self-entry, so lookups and liveness checks can see the server itself. *)
+  Hashtbl.replace t.db t.wk_addr
+    {
+      r_name = "name-server";
+      r_addr = t.wk_addr;
+      r_phys = List.map Ntcs_ipcs.Phys_addr.to_string (Nd_layer.my_listen_addrs (Commod.nd commod));
+      r_nets = Node.my_nets t.node;
+      r_order = Proto.order_to_int (Node.my_order t.node);
+      r_attrs = [ ("service", "name-server") ];
+      r_alive = true;
+      r_stamp = Node.now t.node;
+    };
+  t.running <- true;
+  if t.peers <> [] then pull_sync t;
+  let lcm = Commod.lcm commod in
+  while t.running do
+    match Lcm_layer.recv lcm with
+    | Error _ -> ()
+    | Ok env -> (
+      if env.Lcm_layer.env_app_tag = Ns_proto.app_tag then begin
+        match Ns_proto.unpack_request env.Lcm_layer.env_data with
+        | Error m ->
+          Node.record t.node ~cat:"ns.bad_request" ~actor:"name-server" m
+        | Ok req ->
+          let resp = handle_request t commod req in
+          if env.Lcm_layer.env_conv <> 0 then
+            ignore
+              (Lcm_layer.reply lcm env ~app_tag:Ns_proto.app_tag
+                 (Ntcs_wire.Convert.payload_raw (Ns_proto.pack_response resp)))
+      end)
+  done
+
+let stop t = t.running <- false
+
+let db_size t = Hashtbl.length t.db
+
+let dump t =
+  Hashtbl.fold (fun _ r acc -> entry_of_record r :: acc) t.db []
+  |> List.sort (fun a b -> Addr.compare a.Ns_proto.e_addr b.Ns_proto.e_addr)

@@ -1,0 +1,40 @@
+(** The Name Server (§3): an active module maintaining the name/address
+    database — "nothing more than an application built on the Nucleus",
+    which the Nucleus itself then consumes.
+
+    §3.5 forwarding is implemented as written: a Forward query first decides
+    "whether the old UAdd is really inactive" (a liveness ping over the
+    NTCS, monitoring suppressed), then looks "for a similar name in a newer
+    module", where similarity honours the attribute-based naming scheme the
+    paper announces as its successor (equal ["service"] attributes count).
+
+    Replication (§7): peers with distinct server ids; writes are pushed to
+    peers as datagrams (eventual consistency), and a starting replica pulls
+    a full sync from its first reachable peer. *)
+
+type t
+
+val service_attr : string
+(** The attribute key used for "similar name" matching (["service"]). *)
+
+val create :
+  Node.t -> server_id:int -> wk_addr:Addr.t -> ?peers:Addr.t list -> unit -> t
+(** [wk_addr] is the pre-assigned well-known address every ComMod's tables
+    point at (§3.4); [peers] are the other replicas' well-known addresses. *)
+
+val serve : ?fixed:Ntcs_ipcs.Phys_addr.t list -> t -> unit -> unit
+(** The server process body: bind (at the [fixed] resources), adopt the
+    well-known address, optionally sync from peers, then answer requests
+    forever. Spawn with [World.spawn]. *)
+
+val stop : t -> unit
+
+val local_resolver : t -> Router.resolver
+(** The server's own ComMod resolves from this database directly — the one
+    place the naming recursion bottoms out. *)
+
+val handle_request : t -> Commod.t -> Ns_proto.request -> Ns_proto.response
+(** Exposed for tests; normal traffic arrives through {!serve}. *)
+
+val db_size : t -> int
+val dump : t -> Ns_proto.entry list

@@ -1,0 +1,156 @@
+(* The naming-service request/response protocol. These messages ride the
+   ordinary Nucleus primitives as packed-mode payloads with a reserved
+   application tag — "for all practical purposes, the naming service is
+   nothing more than an application built on the Nucleus" (§2.4). *)
+
+open Ntcs_wire
+
+(* Application tag reserved for naming-service traffic. *)
+let app_tag = 9005
+
+type entry = {
+  e_name : string;
+  e_addr : Addr.t;
+  e_phys : string list; (* physical addresses, uninterpreted strings (§3.2) *)
+  e_nets : int list; (* logical network identifiers *)
+  e_order : int; (* machine representation tag (Proto.order_to_int) *)
+  e_attrs : (string * string) list; (* attribute-based naming (§7) *)
+  e_alive : bool;
+}
+
+type request =
+  | Register of {
+      r_name : string;
+      r_phys : string list;
+      r_nets : int list;
+      r_order : int;
+      r_attrs : (string * string) list;
+    }
+  | Lookup of string (* logical name -> UAdd *)
+  | Lookup_attrs of (string * string) list (* attribute query -> entries *)
+  | Resolve of Addr.t (* UAdd -> full entry *)
+  | Forward of Addr.t (* address fault: find replacement (§3.5) *)
+  | Deregister of Addr.t
+  | List_gateways (* topology: all registered gateway ComMods *)
+  | Sync_pull of int (* replication: entries stamped after n *)
+  | Sync_push of (int * entry) list (* replication: peer pushes fresh entries *)
+
+type response =
+  | R_registered of Addr.t
+  | R_addr of Addr.t
+  | R_entry of entry
+  | R_entries of entry list
+  | R_forward of Addr.t option (* Some = replacement; None = original still alive *)
+  | R_ok
+  | R_sync of (int * entry) list (* serial-stamped entries *)
+  | R_error of string (* Errors.to_string form *)
+
+(* --- codecs --- *)
+
+let addr_codec = Proto.addr_codec
+
+let attrs_codec = Packed.list (Packed.pair Packed.string Packed.string)
+
+let entry_codec =
+  Packed.iso
+    ~fwd:(fun ((name, addr), ((phys, nets), ((order, attrs), alive))) ->
+      { e_name = name; e_addr = addr; e_phys = phys; e_nets = nets; e_order = order;
+        e_attrs = attrs; e_alive = alive })
+    ~bwd:(fun e ->
+      ((e.e_name, e.e_addr), ((e.e_phys, e.e_nets), ((e.e_order, e.e_attrs), e.e_alive))))
+    (Packed.pair
+       (Packed.pair Packed.string addr_codec)
+       (Packed.pair
+          (Packed.pair (Packed.list Packed.string) (Packed.list Packed.int))
+          (Packed.pair (Packed.pair Packed.int attrs_codec) Packed.bool)))
+
+let register_codec =
+  Packed.iso
+    ~fwd:(fun ((name, phys), ((nets, order), attrs)) ->
+      Register { r_name = name; r_phys = phys; r_nets = nets; r_order = order; r_attrs = attrs })
+    ~bwd:(function
+      | Register r -> ((r.r_name, r.r_phys), ((r.r_nets, r.r_order), r.r_attrs))
+      | _ -> invalid_arg "register_codec")
+    (Packed.pair
+       (Packed.pair Packed.string (Packed.list Packed.string))
+       (Packed.pair (Packed.pair (Packed.list Packed.int) Packed.int) attrs_codec))
+
+let request_codec : request Packed.t =
+  Packed.tagged
+    [
+      ( "reg",
+        (function
+          | Register _ as r -> Some (fun buf -> register_codec.Packed.pack buf r)
+          | _ -> None),
+        fun cur -> register_codec.Packed.unpack cur );
+      ( "lku",
+        (function Lookup n -> Some (fun buf -> Packed.string.Packed.pack buf n) | _ -> None),
+        fun cur -> Lookup (Packed.string.Packed.unpack cur) );
+      ( "lka",
+        (function
+          | Lookup_attrs a -> Some (fun buf -> attrs_codec.Packed.pack buf a)
+          | _ -> None),
+        fun cur -> Lookup_attrs (attrs_codec.Packed.unpack cur) );
+      ( "res",
+        (function Resolve a -> Some (fun buf -> addr_codec.Packed.pack buf a) | _ -> None),
+        fun cur -> Resolve (addr_codec.Packed.unpack cur) );
+      ( "fwd",
+        (function Forward a -> Some (fun buf -> addr_codec.Packed.pack buf a) | _ -> None),
+        fun cur -> Forward (addr_codec.Packed.unpack cur) );
+      ( "der",
+        (function Deregister a -> Some (fun buf -> addr_codec.Packed.pack buf a) | _ -> None),
+        fun cur -> Deregister (addr_codec.Packed.unpack cur) );
+      ( "gws",
+        (function List_gateways -> Some (fun _ -> ()) | _ -> None),
+        fun _ -> List_gateways );
+      ( "syn",
+        (function Sync_pull n -> Some (fun buf -> Packed.int.Packed.pack buf n) | _ -> None),
+        fun cur -> Sync_pull (Packed.int.Packed.unpack cur) );
+      ( "syp",
+        (let codec = Packed.list (Packed.pair Packed.int entry_codec) in
+         function
+         | Sync_push es -> Some (fun buf -> codec.Packed.pack buf es)
+         | _ -> None),
+        fun cur -> Sync_push ((Packed.list (Packed.pair Packed.int entry_codec)).Packed.unpack cur) );
+    ]
+
+let response_codec : response Packed.t =
+  let serial_entry = Packed.pair Packed.int entry_codec in
+  Packed.tagged
+    [
+      ( "rgd",
+        (function
+          | R_registered a -> Some (fun buf -> addr_codec.Packed.pack buf a)
+          | _ -> None),
+        fun cur -> R_registered (addr_codec.Packed.unpack cur) );
+      ( "adr",
+        (function R_addr a -> Some (fun buf -> addr_codec.Packed.pack buf a) | _ -> None),
+        fun cur -> R_addr (addr_codec.Packed.unpack cur) );
+      ( "ent",
+        (function R_entry e -> Some (fun buf -> entry_codec.Packed.pack buf e) | _ -> None),
+        fun cur -> R_entry (entry_codec.Packed.unpack cur) );
+      ( "ens",
+        (function
+          | R_entries es -> Some (fun buf -> (Packed.list entry_codec).Packed.pack buf es)
+          | _ -> None),
+        fun cur -> R_entries ((Packed.list entry_codec).Packed.unpack cur) );
+      ( "fwr",
+        (function
+          | R_forward a -> Some (fun buf -> (Packed.option addr_codec).Packed.pack buf a)
+          | _ -> None),
+        fun cur -> R_forward ((Packed.option addr_codec).Packed.unpack cur) );
+      ("ok_", (function R_ok -> Some (fun _ -> ()) | _ -> None), fun _ -> R_ok);
+      ( "snc",
+        (function
+          | R_sync es -> Some (fun buf -> (Packed.list serial_entry).Packed.pack buf es)
+          | _ -> None),
+        fun cur -> R_sync ((Packed.list serial_entry).Packed.unpack cur) );
+      ( "err",
+        (function R_error m -> Some (fun buf -> Packed.string.Packed.pack buf m) | _ -> None),
+        fun cur -> R_error (Packed.string.Packed.unpack cur) );
+    ]
+
+let pack_request r = Packed.run_pack request_codec r
+let unpack_request b = Packed.run_unpack_result request_codec b
+let pack_response r = Packed.run_pack response_codec r
+let unpack_response b = Packed.run_unpack_result response_codec b

@@ -1,0 +1,57 @@
+(** The naming-service request/response protocol.
+
+    These messages ride the ordinary Nucleus primitives as packed-mode
+    payloads with a reserved application tag — "for all practical purposes,
+    the naming service is nothing more than an application built on the
+    Nucleus" (§2.4). *)
+
+open Ntcs_wire
+
+val app_tag : int
+(** Reserved application tag for naming-service traffic. *)
+
+type entry = {
+  e_name : string;
+  e_addr : Addr.t;
+  e_phys : string list;  (** physical addresses, uninterpreted (§3.2) *)
+  e_nets : int list;  (** logical network identifiers *)
+  e_order : int;  (** machine representation tag *)
+  e_attrs : (string * string) list;  (** attribute-based naming (§7) *)
+  e_alive : bool;
+}
+
+type request =
+  | Register of {
+      r_name : string;
+      r_phys : string list;
+      r_nets : int list;
+      r_order : int;
+      r_attrs : (string * string) list;
+    }
+  | Lookup of string  (** logical name → UAdd *)
+  | Lookup_attrs of (string * string) list
+  | Resolve of Addr.t  (** UAdd → full entry *)
+  | Forward of Addr.t  (** address fault: find a replacement (§3.5) *)
+  | Deregister of Addr.t
+  | List_gateways  (** the centralized topology (§4.2) *)
+  | Sync_pull of int  (** replication: entries stamped after n *)
+  | Sync_push of (int * entry) list  (** replication: push fresh entries *)
+
+type response =
+  | R_registered of Addr.t
+  | R_addr of Addr.t
+  | R_entry of entry
+  | R_entries of entry list
+  | R_forward of Addr.t option  (** [Some] replacement / [None] still alive *)
+  | R_ok
+  | R_sync of (int * entry) list
+  | R_error of string  (** [Errors.to_string] form *)
+
+val entry_codec : entry Packed.t
+val request_codec : request Packed.t
+val response_codec : response Packed.t
+
+val pack_request : request -> Bytes.t
+val unpack_request : Bytes.t -> (request, string) result
+val pack_response : response -> Bytes.t
+val unpack_response : Bytes.t -> (response, string) result

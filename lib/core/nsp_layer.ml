@@ -1,0 +1,184 @@
+(* The Name Service Protocol layer (§2.4, §3).
+
+   "The NSP-Layer is the single naming service access point for all layers
+   within the ComMod. Its purpose is to fully isolate the ComMod from the
+   naming service implementation."
+
+   It talks to the Name Server with the ordinary LCM primitives — which is
+   what forces the Nucleus to operate recursively (§3.1) — using the
+   well-known name-server addresses from the node configuration to bootstrap
+   (§3.4). With replicated name servers (§7) it simply fails over through
+   the candidate list. Results are cached with a TTL; the caches are what
+   let the system keep running with the name server removed (§3.3, E1). *)
+
+open Ntcs_wire
+
+type t = {
+  node : Node.t;
+  lcm : Lcm_layer.t;
+  candidates : Addr.t list; (* well-known NS addresses, primary first *)
+  name_cache : (string, Addr.t * int) Hashtbl.t; (* value, expiry (virtual us) *)
+  entry_cache : (Addr.t, Ns_proto.entry * int) Hashtbl.t;
+  mutable gw_cache : (Ns_proto.entry list * int) option;
+  mutable last_good : Addr.t option; (* which replica answered last *)
+}
+
+let create node lcm =
+  let candidates =
+    node.Node.config.Node.well_known
+    |> List.filter (fun wk -> wk.Node.wk_is_name_server)
+    |> List.map (fun wk -> wk.Node.wk_addr)
+  in
+  (match candidates with
+   | ns :: _ -> Lcm_layer.set_ns_addr lcm ns
+   | [] -> ());
+  {
+    node;
+    lcm;
+    candidates;
+    name_cache = Hashtbl.create 32;
+    entry_cache = Hashtbl.create 32;
+    gw_cache = None;
+    last_good = None;
+  }
+
+let metrics t = Node.metrics t.node
+
+let ttl t = t.node.Node.config.Node.ns_cache_ttl_us
+
+(* TTL 0 disables caching outright (every entry is born expired). *)
+let expired t stamp = ttl t = 0 || Node.now t.node > stamp
+
+let error_of_string = function
+  | "unknown-name" -> Errors.Unknown_name
+  | "unknown-address" -> Errors.Unknown_address
+  | "destination-dead" -> Errors.Destination_dead
+  | s -> Errors.Internal ("name server: " ^ s)
+
+(* One NS round trip, failing over through the replica list. *)
+let request t (req : Ns_proto.request) =
+  let payload = Convert.payload_raw (Ns_proto.pack_request req) in
+  let order =
+    match t.last_good with
+    | Some a -> a :: List.filter (fun c -> not (Addr.equal c a)) t.candidates
+    | None -> t.candidates
+  in
+  let rec attempt = function
+    | [] -> Error Errors.Name_service_unavailable
+    | ns :: rest -> (
+      Ntcs_util.Metrics.incr (metrics t) "nsp.requests";
+      match
+        Lcm_layer.send_sync t.lcm ~dst:ns ~app_tag:Ns_proto.app_tag
+          ~timeout_us:t.node.Node.config.Node.default_timeout_us payload
+      with
+      | Error _ when rest <> [] ->
+        Ntcs_util.Metrics.incr (metrics t) "nsp.failovers";
+        attempt rest
+      | Error _ -> Error Errors.Name_service_unavailable
+      | Ok env -> (
+        match Ns_proto.unpack_response env.Lcm_layer.env_data with
+        | Error m -> Error (Errors.Bad_message m)
+        | Ok (Ns_proto.R_error m) -> Error (error_of_string m)
+        | Ok resp ->
+          t.last_good <- Some ns;
+          Lcm_layer.set_ns_addr t.lcm ns;
+          Ok resp))
+  in
+  attempt order
+
+let protocol_error = Errors.Bad_message "unexpected name-server response"
+
+(* --- the services the rest of the ComMod consumes --- *)
+
+let register t ~name ~phys ~nets ~order ~attrs =
+  match
+    request t
+      (Ns_proto.Register
+         {
+           r_name = name;
+           r_phys = List.map Ntcs_ipcs.Phys_addr.to_string phys;
+           r_nets = nets;
+           r_order = Proto.order_to_int order;
+           r_attrs = attrs;
+         })
+  with
+  | Ok (Ns_proto.R_registered addr) -> Ok addr
+  | Ok _ -> Error protocol_error
+  | Error _ as e -> e
+
+let lookup t name =
+  match Hashtbl.find_opt t.name_cache name with
+  | Some (addr, stamp) when not (expired t stamp) ->
+    Ntcs_util.Metrics.incr (metrics t) "nsp.cache_hits";
+    Ok addr
+  | Some _ | None -> (
+    match request t (Ns_proto.Lookup name) with
+    | Ok (Ns_proto.R_addr addr) ->
+      Hashtbl.replace t.name_cache name (addr, Node.now t.node + ttl t);
+      Ok addr
+    | Ok _ -> Error protocol_error
+    | Error _ as e -> e)
+
+let lookup_attrs t attrs =
+  match request t (Ns_proto.Lookup_attrs attrs) with
+  | Ok (Ns_proto.R_entries es) -> Ok es
+  | Ok _ -> Error protocol_error
+  | Error _ as e -> e
+
+let resolve t addr =
+  match Hashtbl.find_opt t.entry_cache addr with
+  | Some (entry, stamp) when not (expired t stamp) ->
+    Ntcs_util.Metrics.incr (metrics t) "nsp.cache_hits";
+    Ok entry
+  | Some _ | None -> (
+    match request t (Ns_proto.Resolve addr) with
+    | Ok (Ns_proto.R_entry e) ->
+      Hashtbl.replace t.entry_cache addr (e, Node.now t.node + ttl t);
+      Ok e
+    | Ok _ -> Error protocol_error
+    | Error _ as e -> e)
+
+(* Address-fault query (§3.5): never cached — the whole point is that the
+   cached state just proved stale. *)
+let forward_query t addr =
+  Hashtbl.remove t.entry_cache addr;
+  match request t (Ns_proto.Forward addr) with
+  | Ok (Ns_proto.R_forward r) ->
+    (match r with
+     | Some fresh ->
+       (* Patch the name cache so names resolving to the dead address heal. *)
+       Hashtbl.iter
+         (fun name (a, _) ->
+           if Addr.equal a addr then
+             Hashtbl.replace t.name_cache name (fresh, Node.now t.node + ttl t))
+         (Hashtbl.copy t.name_cache)
+     | None -> ());
+    Ok r
+  | Ok _ -> Error protocol_error
+  | Error _ as e -> e
+
+let gateways t =
+  match t.gw_cache with
+  | Some (entries, stamp) when not (expired t stamp) ->
+    Ntcs_util.Metrics.incr (metrics t) "nsp.cache_hits";
+    Ok entries
+  | Some _ | None -> (
+    match request t Ns_proto.List_gateways with
+    | Ok (Ns_proto.R_entries es) ->
+      t.gw_cache <- Some (es, Node.now t.node + ttl t);
+      Ok es
+    | Ok _ -> Error protocol_error
+    | Error _ as e -> e)
+
+let deregister t addr =
+  match request t (Ns_proto.Deregister addr) with
+  | Ok Ns_proto.R_ok -> Ok ()
+  | Ok _ -> Error protocol_error
+  | Error _ as e -> e
+
+let invalidate t =
+  Hashtbl.reset t.name_cache;
+  Hashtbl.reset t.entry_cache;
+  t.gw_cache <- None
+
+let name_server_addrs t = t.candidates

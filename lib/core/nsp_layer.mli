@@ -1,0 +1,53 @@
+(** The Name Service Protocol layer (§2.4, §3): "the single naming service
+    access point for all layers within the ComMod. Its purpose is to fully
+    isolate the ComMod from the naming service implementation."
+
+    Requests ride the ordinary LCM primitives — which is what forces the
+    Nucleus to operate recursively (§3.1). Bootstrap goes through the
+    well-known name-server addresses (§3.4); with replicated servers (§7)
+    requests fail over down the candidate list. Results are cached with a
+    TTL: the caches are what let the system run with the name server removed
+    (§3.3, experiment E1). *)
+
+type t
+
+val create : Node.t -> Lcm_layer.t -> t
+
+val request : t -> Ns_proto.request -> (Ns_proto.response, Errors.t) result
+(** One name-server round trip with replica failover. *)
+
+val register :
+  t ->
+  name:string ->
+  phys:Ntcs_ipcs.Phys_addr.t list ->
+  nets:int list ->
+  order:Ntcs_wire.Endian.order ->
+  attrs:(string * string) list ->
+  (Addr.t, Errors.t) result
+(** §3.2 registration: returns the assigned UAdd. *)
+
+val lookup : t -> string -> (Addr.t, Errors.t) result
+(** Logical name → UAdd, cached. *)
+
+val lookup_attrs : t -> (string * string) list -> (Ns_proto.entry list, Errors.t) result
+(** Attribute-based naming (§7 successor): all live entries matching every
+    given attribute. *)
+
+val resolve : t -> Addr.t -> (Ns_proto.entry, Errors.t) result
+(** UAdd → full entry (physical addresses, networks, representation),
+    cached. *)
+
+val forward_query : t -> Addr.t -> (Addr.t option, Errors.t) result
+(** Address-fault query (§3.5), never cached. [Some fresh] = replacement
+    located (name cache healed as a side effect); [None] = original still
+    alive, reconnect. *)
+
+val gateways : t -> (Ns_proto.entry list, Errors.t) result
+(** Registered gateway ComMods — the centralized topology (§4.2). Cached. *)
+
+val deregister : t -> Addr.t -> (unit, Errors.t) result
+
+val invalidate : t -> unit
+(** Drop every cache (test/experiment hook). *)
+
+val name_server_addrs : t -> Addr.t list

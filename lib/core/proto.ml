@@ -1,0 +1,210 @@
+(* The Nucleus wire protocol. Every NTCS message starts with a fixed header
+   "built with structures of four byte integers, which can be bit field
+   divided as required" (§5.2), transferred in shift mode so it is correct
+   between any pair of machines with no conversion decision needed. Control
+   messages that carry data fields (e.g. the route of an IVC_OPEN) put them
+   in the payload in packed mode, as the paper prescribes. *)
+
+open Ntcs_wire
+
+exception Bad_header of string
+
+let magic = 0x4E54 (* "NT" *)
+let version = 1
+let header_words = 11
+let header_bytes = 4 * header_words
+
+type kind =
+  | Data (* connection-oriented application data *)
+  | Dgram (* connectionless application data *)
+  | Reply (* send_sync response, matched by conversation id *)
+  | Hello (* ND channel-open: announces UAdd + machine repr *)
+  | Hello_ack
+  | Ivc_open (* IP-layer: establish a chained circuit; payload = route *)
+  | Ivc_accept
+  | Ivc_reject
+  | Ivc_close (* IP-layer: cascade teardown (§4.3) *)
+  | Ping (* liveness probe (used by the naming service) *)
+  | Pong
+
+let kind_to_int = function
+  | Data -> 0
+  | Dgram -> 1
+  | Reply -> 2
+  | Hello -> 3
+  | Hello_ack -> 4
+  | Ivc_open -> 5
+  | Ivc_accept -> 6
+  | Ivc_reject -> 7
+  | Ivc_close -> 8
+  | Ping -> 9
+  | Pong -> 10
+
+let kind_of_int = function
+  | 0 -> Data
+  | 1 -> Dgram
+  | 2 -> Reply
+  | 3 -> Hello
+  | 4 -> Hello_ack
+  | 5 -> Ivc_open
+  | 6 -> Ivc_accept
+  | 7 -> Ivc_reject
+  | 8 -> Ivc_close
+  | 9 -> Ping
+  | 10 -> Pong
+  | n -> raise (Bad_header (Printf.sprintf "unknown message kind %d" n))
+
+let kind_to_string k =
+  match k with
+  | Data -> "data"
+  | Dgram -> "dgram"
+  | Reply -> "reply"
+  | Hello -> "hello"
+  | Hello_ack -> "hello-ack"
+  | Ivc_open -> "ivc-open"
+  | Ivc_accept -> "ivc-accept"
+  | Ivc_reject -> "ivc-reject"
+  | Ivc_close -> "ivc-close"
+  | Ping -> "ping"
+  | Pong -> "pong"
+
+let order_to_int = function Endian.Le -> 0 | Endian.Be -> 1
+
+let order_of_int = function
+  | 0 -> Endian.Le
+  | 1 -> Endian.Be
+  | n -> raise (Bad_header (Printf.sprintf "unknown byte order tag %d" n))
+
+type header = {
+  kind : kind;
+  src : Addr.t;
+  dst : Addr.t;
+  mode : Convert.mode; (* how the payload was rendered *)
+  src_order : Endian.order; (* native representation of the source machine *)
+  hops : int; (* gateway hops so far, for loop detection and E7 *)
+  seq : int;
+  conv : int; (* conversation id for send_sync/reply matching *)
+  app_tag : int; (* application message type *)
+  ivc : int; (* internet virtual circuit id *)
+  payload_len : int;
+}
+
+let make_header ~kind ~src ~dst ?(mode = Convert.Packed) ?(src_order = Endian.Be) ?(hops = 0)
+    ?(seq = 0) ?(conv = 0) ?(app_tag = 0) ?(ivc = 0) ~payload_len () =
+  { kind; src; dst; mode; src_order; hops; seq; conv; app_tag; ivc; payload_len }
+
+(* Header layout:
+   w0: magic(16) | version(8) | kind(8)
+   w1-w2: src address
+   w3-w4: dst address
+   w5: mode(4) | src_order(4) | hops(8) | flags(16, reserved)
+   w6: seq   w7: conv   w8: app_tag   w9: ivc   w10: payload_len *)
+let encode_header h =
+  let src = Addr.to_words h.src and dst = Addr.to_words h.dst in
+  let w0 = Shift.pack_bits [ (magic, 16); (version, 8); (kind_to_int h.kind, 8) ] in
+  let w5 =
+    Shift.pack_bits
+      [ (Convert.mode_to_int h.mode, 4); (order_to_int h.src_order, 4); (h.hops land 0xFF, 8);
+        (0, 16) ]
+  in
+  Shift.encode_words
+    [| w0; src.(0); src.(1); dst.(0); dst.(1); w5; h.seq; h.conv; h.app_tag; h.ivc;
+       h.payload_len |]
+
+let decode_header data =
+  if Bytes.length data < header_bytes then raise (Bad_header "short header");
+  let w = Shift.decode_words data ~off:0 ~count:header_words in
+  (match Shift.unpack_bits w.(0) [ 16; 8; 8 ] with
+   | [ m; v; _ ] ->
+     if m <> magic then raise (Bad_header "bad magic");
+     if v <> version then raise (Bad_header (Printf.sprintf "unsupported version %d" v))
+   | _ -> assert false);
+  let kind =
+    match Shift.unpack_bits w.(0) [ 16; 8; 8 ] with
+    | [ _; _; k ] -> kind_of_int k
+    | _ -> assert false
+  in
+  let mode, src_order, hops =
+    match Shift.unpack_bits w.(5) [ 4; 4; 8; 16 ] with
+    | [ m; o; h; _ ] -> (
+      ( (match Convert.mode_of_int m with
+         | Some m -> m
+         | None -> raise (Bad_header (Printf.sprintf "unknown conversion mode %d" m))),
+        order_of_int o,
+        h ))
+    | _ -> assert false
+  in
+  {
+    kind;
+    src = Addr.of_words w.(1) w.(2);
+    dst = Addr.of_words w.(3) w.(4);
+    mode;
+    src_order;
+    hops;
+    seq = w.(6);
+    conv = w.(7);
+    app_tag = w.(8);
+    ivc = w.(9);
+    payload_len = w.(10);
+  }
+
+(* A full frame: shift-mode header followed by the (already converted)
+   payload bytes. *)
+let encode_frame h payload =
+  let hdr = encode_header { h with payload_len = Bytes.length payload } in
+  if Bytes.length payload = 0 then hdr else Bytes.cat hdr payload
+
+let decode_frame data =
+  let h = decode_header data in
+  if Bytes.length data <> header_bytes + h.payload_len then
+    raise
+      (Bad_header
+         (Printf.sprintf "frame length %d does not match header payload_len %d"
+            (Bytes.length data) h.payload_len));
+  (h, Bytes.sub data header_bytes h.payload_len)
+
+(* --- control payload codecs (packed mode, per §5.2) --- *)
+
+let addr_codec =
+  Packed.iso
+    ~fwd:(fun (w0, w1) -> Addr.of_words w0 w1)
+    ~bwd:(fun a ->
+      let w = Addr.to_words a in
+      (w.(0), w.(1)))
+    (Packed.pair Packed.int Packed.int)
+
+(* HELLO / HELLO_ACK body: my UAdd (redundant with the header, but the header
+   src may be a TAdd the peer should keep), my machine order, my listening
+   addresses (so the peer can reconnect or pass them on). *)
+type hello = {
+  h_addr : Addr.t;
+  h_order : Endian.order;
+  h_listen : string list; (* physical addresses, uninterpreted strings *)
+}
+
+let hello_codec =
+  Packed.iso
+    ~fwd:(fun (a, (o, l)) -> { h_addr = a; h_order = order_of_int o; h_listen = l })
+    ~bwd:(fun h -> (h.h_addr, (order_to_int h.h_order, h.h_listen)))
+    (Packed.pair addr_codec (Packed.pair Packed.int (Packed.list Packed.string)))
+
+(* IVC_OPEN body: the remaining route (gateway commod UAdds, outermost
+   first), the final destination, and the origin's HELLO announcement so the
+   destination learns the origin's machine representation and listening
+   addresses without a direct LVC. Gateways pop themselves off the front of
+   the route and forward. The IVC_ACCEPT travelling back carries the final
+   destination's HELLO for the same reason. *)
+type ivc_open = {
+  route : Addr.t list;
+  final_dst : Addr.t;
+  origin_hello : hello;
+}
+
+let ivc_open_codec =
+  Packed.iso
+    ~fwd:(fun (r, (f, o)) -> { route = r; final_dst = f; origin_hello = o })
+    ~bwd:(fun v -> (v.route, (v.final_dst, v.origin_hello)))
+    (Packed.pair (Packed.list addr_codec) (Packed.pair addr_codec hello_codec))
+
+(* IVC_ACCEPT / IVC_REJECT / IVC_CLOSE body: reason string (possibly empty). *)
+let reason_codec = Packed.string

@@ -1,0 +1,104 @@
+(** The Nucleus wire protocol.
+
+    Every NTCS message starts with a fixed header "built with structures of
+    four byte integers, which can be bit field divided as required" (§5.2),
+    transferred in shift mode so it is correct between any pair of machines
+    with no conversion decision. Control messages that carry data fields
+    (the route of an IVC_OPEN, HELLO announcements) put them in the payload
+    in packed mode, as the paper prescribes. *)
+
+open Ntcs_wire
+
+exception Bad_header of string
+
+val magic : int
+val version : int
+
+val header_words : int
+val header_bytes : int
+
+type kind =
+  | Data  (** connection-oriented application data *)
+  | Dgram  (** connectionless application data *)
+  | Reply  (** send_sync response, matched by conversation id *)
+  | Hello  (** ND channel-open: announces UAdd + machine representation *)
+  | Hello_ack
+  | Ivc_open  (** IP-layer: establish a chained circuit; payload = route *)
+  | Ivc_accept
+  | Ivc_reject
+  | Ivc_close  (** IP-layer: cascade teardown (§4.3) *)
+  | Ping  (** liveness probe (used by the naming service, §3.5) *)
+  | Pong
+
+val kind_to_int : kind -> int
+
+val kind_of_int : int -> kind
+(** Raises {!Bad_header} on an unknown tag. *)
+
+val kind_to_string : kind -> string
+val order_to_int : Endian.order -> int
+val order_of_int : int -> Endian.order
+
+type header = {
+  kind : kind;
+  src : Addr.t;
+  dst : Addr.t;
+  mode : Convert.mode;  (** how the payload was rendered *)
+  src_order : Endian.order;  (** source machine's native representation *)
+  hops : int;  (** gateway transits so far *)
+  seq : int;
+  conv : int;  (** conversation id for send_sync/reply matching *)
+  app_tag : int;  (** application message type *)
+  ivc : int;  (** internet-virtual-circuit leg label; 0 = direct *)
+  payload_len : int;
+}
+
+val make_header :
+  kind:kind ->
+  src:Addr.t ->
+  dst:Addr.t ->
+  ?mode:Convert.mode ->
+  ?src_order:Endian.order ->
+  ?hops:int ->
+  ?seq:int ->
+  ?conv:int ->
+  ?app_tag:int ->
+  ?ivc:int ->
+  payload_len:int ->
+  unit ->
+  header
+
+val encode_header : header -> Bytes.t
+
+val decode_header : Bytes.t -> header
+(** Raises {!Bad_header} on bad magic/version/shape. *)
+
+val encode_frame : header -> Bytes.t -> Bytes.t
+(** Header (with [payload_len] fixed up) followed by the payload bytes. *)
+
+val decode_frame : Bytes.t -> header * Bytes.t
+(** Raises {!Bad_header} when the byte count disagrees with the header. *)
+
+(** {1 Control payload codecs (packed mode, §5.2)} *)
+
+val addr_codec : Addr.t Packed.t
+
+type hello = {
+  h_addr : Addr.t;  (** the sender's current self-address (may be a TAdd) *)
+  h_order : Endian.order;
+  h_listen : string list;  (** its listening physical addresses, as strings *)
+}
+
+val hello_codec : hello Packed.t
+
+type ivc_open = {
+  route : Addr.t list;  (** remaining gateway hops, outermost first *)
+  final_dst : Addr.t;
+  origin_hello : hello;  (** so the destination learns the origin's machine
+                             representation without a direct LVC *)
+}
+
+val ivc_open_codec : ivc_open Packed.t
+
+val reason_codec : string Packed.t
+(** Body of IVC_ACCEPT / IVC_REJECT / IVC_CLOSE. *)

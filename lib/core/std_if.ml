@@ -1,0 +1,211 @@
+(* STD-IF: the uniform local-virtual-circuit interface (§2.2).
+
+   "A simple STD-IF was desired ... This incorporates only those features
+   necessary for the NTCS, while maintaining a high degree of compatibility
+   with anticipated underlying IPCSs."
+
+   Everything above this interface sees message-oriented local virtual
+   circuits; everything below it is genuinely network dependent:
+   - over the TCP backend we frame messages onto the byte stream with a
+     shift-mode length word (segments split and coalesce underneath);
+   - over the MBX backend we fragment messages larger than the mailbox
+     message limit and reassemble on receive.
+
+   Per the paper, there is no relocation or recovery here: failures surface
+   as [Error] and notification is simply passed upward. *)
+
+open Ntcs_sim
+open Ntcs_ipcs
+
+type lvc = {
+  lvc_id : int;
+  kind : Phys_addr.kind;
+  send_msg : Bytes.t -> (unit, Ipcs_error.t) result;
+  recv_msg : ?timeout_us:int -> unit -> (Bytes.t, Ipcs_error.t) result;
+  close : unit -> unit;
+  abort : unit -> unit;
+  is_open : unit -> bool;
+}
+
+(* --- TCP adaptation: length-prefix framing over a byte stream --- *)
+
+let frame_word_bytes = 4
+
+let of_tcp (conn : Ipcs_tcp.conn) =
+  (* Reassembly state persists across recv_msg calls. *)
+  let pending = Buffer.create 4096 in
+  let send_msg data =
+    let len = Bytes.length data in
+    let buf = Buffer.create (len + frame_word_bytes) in
+    Ntcs_wire.Shift.put_word buf len;
+    Buffer.add_bytes buf data;
+    Ipcs_tcp.send conn (Buffer.to_bytes buf)
+  in
+  let rec recv_msg ?timeout_us () =
+    let have = Buffer.length pending in
+    if have >= frame_word_bytes then begin
+      let head = Buffer.to_bytes pending in
+      let need = Ntcs_wire.Shift.get_word head 0 in
+      if have >= frame_word_bytes + need then begin
+        let msg = Bytes.sub head frame_word_bytes need in
+        let rest_len = have - frame_word_bytes - need in
+        let rest = Bytes.sub head (frame_word_bytes + need) rest_len in
+        Buffer.clear pending;
+        Buffer.add_bytes pending rest;
+        Ok msg
+      end
+      else fill ?timeout_us ()
+    end
+    else fill ?timeout_us ()
+  and fill ?timeout_us () =
+    match Ipcs_tcp.recv ?timeout_us conn with
+    | Ok chunk ->
+      Buffer.add_bytes pending chunk;
+      recv_msg ?timeout_us ()
+    | Error _ as e -> e
+  in
+  {
+    lvc_id = Ipcs_tcp.conn_id conn;
+    kind = Phys_addr.K_tcp;
+    send_msg;
+    recv_msg;
+    close = (fun () -> Ipcs_tcp.close conn);
+    abort = (fun () -> Ipcs_tcp.abort conn);
+    is_open = (fun () -> Ipcs_tcp.is_open conn);
+  }
+
+(* --- MBX adaptation: fragmentation over bounded messages ---
+
+   Fragment header: three shift-mode words (frame id, index, count). A
+   message that fits in one MBX message still carries the header so the
+   receiver needs no special case. *)
+
+let mbx_frag_header = 12
+let mbx_frag_payload = Ipcs_mbx.max_message_size - mbx_frag_header
+
+let of_mbx (chan : Ipcs_mbx.chan) =
+  let next_frame = ref 1 in
+  (* frame id -> (count, received so far, fragments in order) *)
+  let partial : (int, int * Bytes.t option array) Hashtbl.t = Hashtbl.create 4 in
+  let send_msg data =
+    let total = Bytes.length data in
+    let count = max 1 ((total + mbx_frag_payload - 1) / mbx_frag_payload) in
+    let frame_id = !next_frame in
+    next_frame := frame_id + 1;
+    let rec go idx =
+      if idx >= count then Ok ()
+      else begin
+        let off = idx * mbx_frag_payload in
+        let len = min mbx_frag_payload (total - off) in
+        let buf = Buffer.create (len + mbx_frag_header) in
+        Ntcs_wire.Shift.put_word buf frame_id;
+        Ntcs_wire.Shift.put_word buf idx;
+        Ntcs_wire.Shift.put_word buf count;
+        Buffer.add_bytes buf (Bytes.sub data off len);
+        match Ipcs_mbx.send chan (Buffer.to_bytes buf) with
+        | Ok () -> go (idx + 1)
+        | Error Ipcs_error.Queue_full ->
+          (* Bounded mailbox: surface to the ND-layer, which backs off and
+             retries — MBX flow control is the caller's problem. *)
+          Error Ipcs_error.Queue_full
+        | Error _ as e -> e
+      end
+    in
+    go 0
+  in
+  let rec recv_msg ?timeout_us () =
+    match Ipcs_mbx.recv ?timeout_us chan with
+    | Error _ as e -> e
+    | Ok frag ->
+      if Bytes.length frag < mbx_frag_header then Error (Ipcs_error.Closed)
+      else begin
+        let frame_id = Ntcs_wire.Shift.get_word frag 0 in
+        let idx = Ntcs_wire.Shift.get_word frag 4 in
+        let count = Ntcs_wire.Shift.get_word frag 8 in
+        let body = Bytes.sub frag mbx_frag_header (Bytes.length frag - mbx_frag_header) in
+        if count = 1 then Ok body
+        else begin
+          let got, frags =
+            match Hashtbl.find_opt partial frame_id with
+            | Some s -> s
+            | None -> (0, Array.make count None)
+          in
+          if idx < Array.length frags then frags.(idx) <- Some body;
+          let got = got + 1 in
+          if got = count then begin
+            Hashtbl.remove partial frame_id;
+            let buf = Buffer.create (count * mbx_frag_payload) in
+            Array.iter
+              (function Some b -> Buffer.add_bytes buf b | None -> ())
+              frags;
+            Ok (Buffer.to_bytes buf)
+          end
+          else begin
+            Hashtbl.replace partial frame_id (got, frags);
+            recv_msg ?timeout_us ()
+          end
+        end
+      end
+  in
+  {
+    lvc_id = Ipcs_mbx.chan_id chan;
+    kind = Phys_addr.K_mbx;
+    send_msg;
+    recv_msg;
+    close = (fun () -> Ipcs_mbx.close chan);
+    abort = (fun () -> Ipcs_mbx.abort chan);
+    is_open = (fun () -> Ipcs_mbx.is_open chan);
+  }
+
+(* --- uniform open / listen over both backends --- *)
+
+type acceptor = {
+  acc_addr : Phys_addr.t;
+  accept : ?timeout_us:int -> unit -> (lvc, Ipcs_error.t) result;
+  shutdown : unit -> unit;
+}
+
+let connect ?allowed (ipcs : Registry.t) ~(machine : Machine.t) ~(dst : Phys_addr.t) =
+  match Phys_addr.kind dst with
+  | Phys_addr.K_tcp -> (
+    match Ipcs_tcp.connect ?allowed (Registry.tcp ipcs) ~machine ~dst with
+    | Ok conn -> Ok (of_tcp conn)
+    | Error _ as e -> e)
+  | Phys_addr.K_mbx -> (
+    match Ipcs_mbx.open_chan ?allowed (Registry.mbx ipcs) ~machine ~dst with
+    | Ok chan -> Ok (of_mbx chan)
+    | Error _ as e -> e)
+
+let listen_tcp ?port (ipcs : Registry.t) ~(machine : Machine.t) =
+  let port = match port with Some p -> p | None -> Registry.fresh_port ipcs in
+  match Ipcs_tcp.listen (Registry.tcp ipcs) ~machine ~port with
+  | Error _ as e -> e
+  | Ok l ->
+    Ok
+      {
+        acc_addr = Ipcs_tcp.listener_addr l;
+        accept =
+          (fun ?timeout_us () ->
+            match Ipcs_tcp.accept ?timeout_us l with
+            | Ok conn -> Ok (of_tcp conn)
+            | Error _ as e -> e);
+        shutdown = (fun () -> Ipcs_tcp.close_listener l);
+      }
+
+let listen_mbx ?path (ipcs : Registry.t) ~(machine : Machine.t) ~hint =
+  let path =
+    match path with Some p -> p | None -> Registry.fresh_mbx_path ipcs ~machine ~hint
+  in
+  match Ipcs_mbx.create_mailbox (Registry.mbx ipcs) ~machine ~path with
+  | Error _ as e -> e
+  | Ok mb ->
+    Ok
+      {
+        acc_addr = Ipcs_mbx.mailbox_addr mb;
+        accept =
+          (fun ?timeout_us () ->
+            match Ipcs_mbx.accept ?timeout_us mb with
+            | Ok chan -> Ok (of_mbx chan)
+            | Error _ as e -> e);
+        shutdown = (fun () -> Ipcs_mbx.close_mailbox mb);
+      }

@@ -1,0 +1,60 @@
+(** STD-IF: the uniform local-virtual-circuit interface (§2.2).
+
+    "A simple STD-IF was desired ... incorporat[ing] only those features
+    necessary for the NTCS, while maintaining a high degree of compatibility
+    with anticipated underlying IPCSs."
+
+    Everything above sees message-oriented local virtual circuits; below it
+    is genuinely network dependent: over TCP, messages are framed onto the
+    byte stream with a shift-mode length word; over MBX, messages larger
+    than the mailbox limit are fragmented and reassembled. No relocation or
+    recovery here — failures surface as [Error] and pass upward. *)
+
+open Ntcs_sim
+open Ntcs_ipcs
+
+type lvc = {
+  lvc_id : int;
+  kind : Phys_addr.kind;
+  send_msg : Bytes.t -> (unit, Ipcs_error.t) result;
+  recv_msg : ?timeout_us:int -> unit -> (Bytes.t, Ipcs_error.t) result;
+  close : unit -> unit;
+  abort : unit -> unit;
+  is_open : unit -> bool;
+}
+(** One local virtual circuit: whole messages in, whole messages out,
+    whichever backend carries them. *)
+
+val of_tcp : Ipcs_tcp.conn -> lvc
+(** Length-prefix framing over the byte stream. *)
+
+val of_mbx : Ipcs_mbx.chan -> lvc
+(** Fragmentation/reassembly over bounded messages. *)
+
+val mbx_frag_header : int
+val mbx_frag_payload : int
+
+type acceptor = {
+  acc_addr : Phys_addr.t;  (** the listening address to register/announce *)
+  accept : ?timeout_us:int -> unit -> (lvc, Ipcs_error.t) result;
+  shutdown : unit -> unit;
+}
+
+val connect :
+  ?allowed:Net.id list ->
+  Registry.t ->
+  machine:Machine.t ->
+  dst:Phys_addr.t ->
+  (lvc, Ipcs_error.t) result
+(** Open an LVC over whichever backend the address kind selects. *)
+
+val listen_tcp :
+  ?port:int -> Registry.t -> machine:Machine.t -> (acceptor, Ipcs_error.t) result
+(** Fixed [port] for well-known modules; fresh allocation otherwise. *)
+
+val listen_mbx :
+  ?path:string ->
+  Registry.t ->
+  machine:Machine.t ->
+  hint:string ->
+  (acceptor, Ipcs_error.t) result

@@ -1,0 +1,139 @@
+(** Deterministic cooperative scheduler over OCaml 5 effect handlers.
+
+    Simulated processes are green threads suspended through an effect;
+    every resumption goes through an event heap keyed by (virtual time,
+    sequence number), so runs are fully deterministic: same program + same
+    seeds ⇒ same trace. This is the execution substrate standing in for the
+    paper's OS processes on Apollo/VAX/Sun machines.
+
+    Blocking primitives ({!sleep}, {!Ivar}, {!Mailbox}) must be called from
+    inside a process; scheduling primitives ({!at}, {!spawn}, {!kill}, …)
+    may be called from anywhere. *)
+
+exception Killed
+(** Raised inside a process when it is killed, so [Fun.protect] finalizers
+    run before it dies. *)
+
+exception Event_limit_exceeded
+
+type t
+(** A scheduler instance (one per simulated world). *)
+
+type pid = int
+
+type exit_status =
+  | Exited  (** body returned normally *)
+  | Was_killed
+  | Crashed of exn
+
+type waker
+(** One-shot handle that resumes a suspended process. Idempotent: waking an
+    already-resumed process is a no-op. *)
+
+val create : unit -> t
+
+val now : t -> int
+(** Current virtual time in microseconds. *)
+
+val set_event_limit : t -> int -> unit
+(** Abort the run with {!Event_limit_exceeded} after this many events
+    (0 = unlimited). A backstop for runaway-recursion experiments. *)
+
+(** {1 Timers} *)
+
+val at : t -> int -> (unit -> unit) -> unit
+(** [at t time thunk] runs [thunk] at absolute virtual [time] (clamped to
+    now if already past). *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** [after t delay thunk] ≡ [at t (now t + delay) thunk]. *)
+
+(** {1 Processes} *)
+
+val spawn : ?name:string -> ?at_time:int -> t -> (unit -> unit) -> pid
+(** Create a process whose body starts at [at_time] (default: now). *)
+
+val kill : t -> pid -> unit
+(** Kill a process: a suspended body is resumed with {!Killed} so its
+    finalizers run; an embryo is simply marked dead. Self-kill raises
+    {!Killed} directly. *)
+
+val alive : t -> pid -> bool
+val status : t -> pid -> exit_status option
+
+val on_exit : t -> pid -> (exit_status -> unit) -> unit
+(** Run a hook when the process finishes; fires immediately if it already
+    has. *)
+
+val self : t -> pid
+(** Pid of the currently running process. Fails outside a process. *)
+
+val self_name : t -> string
+
+(** {1 Blocking (inside a process only)} *)
+
+val suspend : (waker -> unit) -> unit
+(** Suspend the current process; [register] receives the waker. *)
+
+val wake : waker -> unit
+(** Schedule the suspended process to resume now. Idempotent. *)
+
+val sleep : t -> int -> unit
+(** Suspend for a virtual duration. [sleep t 0] is a yield point. *)
+
+val yield : t -> unit
+
+(** {1 Running} *)
+
+val step : t -> bool
+(** Execute one event; [false] when the heap is empty. *)
+
+val run : ?until:int -> t -> unit
+(** Run until quiescence, or until virtual time [until] (the clock then
+    advances to exactly [until]). *)
+
+val run_until_quiescent : t -> unit
+val live_processes : t -> int
+val events_executed : t -> int
+
+val blocked_processes : t -> string list
+(** Names of live processes currently suspended. After a quiescent {!run},
+    these are blocked forever unless an external event wakes them —
+    legitimate for server loops, a deadlock diagnostic for anything else. *)
+
+(** Write-once cell with blocking read. Reads after the fill return
+    immediately; multiple readers all wake on fill. *)
+module Ivar : sig
+  type 'a ivar
+
+  val create : t -> 'a ivar
+
+  val fill : 'a ivar -> 'a -> unit
+  (** Raises [Invalid_argument] when already filled. *)
+
+  val try_fill : 'a ivar -> 'a -> bool
+  val is_filled : 'a ivar -> bool
+  val peek : 'a ivar -> 'a option
+
+  val read : ?timeout:int -> 'a ivar -> 'a option
+  (** Block until filled; [None] on timeout (virtual µs). *)
+end
+
+(** Unbounded FIFO mailbox with blocking receive. *)
+module Mailbox : sig
+  type 'a mb
+
+  val create : t -> 'a mb
+  val length : 'a mb -> int
+
+  val send : 'a mb -> 'a -> unit
+  (** Delivers to the oldest waiting receiver, else enqueues. *)
+
+  val recv : ?timeout:int -> 'a mb -> 'a option
+  (** Block for the next message; [None] on timeout. *)
+
+  val recv_opt : 'a mb -> 'a option
+  (** Non-blocking. *)
+
+  val clear : 'a mb -> unit
+end

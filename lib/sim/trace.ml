@@ -1,0 +1,51 @@
+(* Append-only event trace for a simulated world. Tests and experiments
+   assert protocol-level properties from it (e.g. "gateways never exchange
+   messages with each other", E7) and the §6.2 discussion about needing to
+   know *why* and *by whom* a layer is called is addressed by recording both
+   a category and an actor for every entry. *)
+
+type entry = {
+  at_us : int;
+  cat : string; (* e.g. "nd.open", "lcm.fault", "gw.forward" *)
+  actor : string; (* process name *)
+  detail : string;
+}
+
+type t = {
+  mutable entries : entry list; (* newest first *)
+  mutable count : int;
+  mutable enabled : bool;
+  mutable cats : string list; (* empty = record everything *)
+}
+
+let create () = { entries = []; count = 0; enabled = true; cats = [] }
+
+let set_enabled t b = t.enabled <- b
+
+let set_filter t cats = t.cats <- cats
+
+let record t ~at_us ~cat ~actor detail =
+  if t.enabled && (t.cats = [] || List.exists (fun p -> p = cat) t.cats) then begin
+    t.entries <- { at_us; cat; actor; detail } :: t.entries;
+    t.count <- t.count + 1
+  end
+
+let entries t = List.rev t.entries
+
+let count t = t.count
+
+let clear t =
+  t.entries <- [];
+  t.count <- 0
+
+let matching t ~cat = List.filter (fun e -> e.cat = cat) (entries t)
+
+let matching_prefix t ~prefix =
+  let n = String.length prefix in
+  List.filter
+    (fun e -> String.length e.cat >= n && String.sub e.cat 0 n = prefix)
+    (entries t)
+
+let pp_entry ppf e = Fmt.pf ppf "[%8dus] %-16s %-20s %s" e.at_us e.cat e.actor e.detail
+
+let dump ppf t = List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (entries t)

@@ -1,0 +1,145 @@
+(* A simulated world: scheduler + machines + networks + bookkeeping.
+   This is the hypothetical multi-machine configuration the paper's figures
+   sketch; experiments build one, spawn NTCS modules on its machines and run
+   virtual time forward. *)
+
+type t = {
+  sched : Sched.t;
+  metrics : Ntcs_util.Metrics.t;
+  trace : Trace.t;
+  rng : Ntcs_util.Rng.t;
+  machines : (Machine.id, Machine.t) Hashtbl.t;
+  nets : (Net.id, Net.t) Hashtbl.t;
+  attachments : (Machine.id * Net.id, unit) Hashtbl.t;
+  proc_machine : (Sched.pid, Machine.id) Hashtbl.t;
+  mutable next_machine_id : int;
+  mutable next_net_id : int;
+  mutable seed : int;
+}
+
+let create ?(seed = 42) () =
+  {
+    sched = Sched.create ();
+    metrics = Ntcs_util.Metrics.create ();
+    trace = Trace.create ();
+    rng = Ntcs_util.Rng.create seed;
+    machines = Hashtbl.create 16;
+    nets = Hashtbl.create 8;
+    attachments = Hashtbl.create 32;
+    proc_machine = Hashtbl.create 64;
+    next_machine_id = 1;
+    next_net_id = 1;
+    seed;
+  }
+
+let sched t = t.sched
+let metrics t = t.metrics
+let trace t = t.trace
+let rng t = t.rng
+let now t = Sched.now t.sched
+
+let record t ~cat ~actor detail = Trace.record t.trace ~at_us:(now t) ~cat ~actor detail
+
+let add_machine t ~name mtype ?(drift_ppm = 0.) ?(offset_us = 0) () =
+  let id = t.next_machine_id in
+  t.next_machine_id <- id + 1;
+  let m = Machine.make ~id ~name ~mtype ~drift_ppm ~offset_us () in
+  Hashtbl.replace t.machines id m;
+  m
+
+let add_net t ~name kind ?latency () =
+  let id = t.next_net_id in
+  t.next_net_id <- id + 1;
+  let n = Net.make ~id ~name ~kind ?latency ~seed:(t.seed * 31) () in
+  Hashtbl.replace t.nets id n;
+  n
+
+let machine t id = Hashtbl.find t.machines id
+let machine_opt t id = Hashtbl.find_opt t.machines id
+let net t id = Hashtbl.find t.nets id
+let net_opt t id = Hashtbl.find_opt t.nets id
+
+let attach t (m : Machine.t) (n : Net.t) = Hashtbl.replace t.attachments (m.id, n.id) ()
+
+let attached t mid nid = Hashtbl.mem t.attachments (mid, nid)
+
+let nets_of_machine t mid =
+  Hashtbl.fold (fun (m, n) () acc -> if m = mid then n :: acc else acc) t.attachments []
+  |> List.sort_uniq compare
+
+let machines_on t nid =
+  Hashtbl.fold (fun (m, n) () acc -> if n = nid then m :: acc else acc) t.attachments []
+  |> List.sort_uniq compare
+
+let common_nets t m1 m2 =
+  List.filter (fun n -> attached t m2 n) (nets_of_machine t m1)
+
+let all_machines t =
+  Hashtbl.fold (fun _ m acc -> m :: acc) t.machines []
+  |> List.sort (fun (a : Machine.t) b -> compare a.id b.id)
+
+let all_nets t =
+  Hashtbl.fold (fun _ n acc -> n :: acc) t.nets []
+  |> List.sort (fun (a : Net.t) b -> compare a.id b.id)
+
+let spawn t ~machine:(m : Machine.t) ~name f =
+  let pid = Sched.spawn ~name t.sched f in
+  Hashtbl.replace t.proc_machine pid m.id;
+  (* A crashing process would otherwise die silently; make it visible in the
+     trace so experiments can assert the absence of crashes. *)
+  Sched.on_exit t.sched pid (fun status ->
+      match status with
+      | Sched.Crashed e ->
+        Trace.record t.trace ~at_us:(Sched.now t.sched) ~cat:"sim.proc_crash" ~actor:name
+          (Printexc.to_string e)
+      | Sched.Exited | Sched.Was_killed -> ());
+  pid
+
+let machine_of_proc t pid = Hashtbl.find_opt t.proc_machine pid
+
+let procs_on_machine t mid =
+  Hashtbl.fold (fun pid m acc -> if m = mid then pid :: acc else acc) t.proc_machine []
+  |> List.sort compare
+
+let crash_machine t (m : Machine.t) =
+  m.up <- false;
+  record t ~cat:"sim.crash" ~actor:m.name "machine crashed";
+  List.iter (fun pid -> Sched.kill t.sched pid) (procs_on_machine t m.id)
+
+let restart_machine _t (m : Machine.t) = m.up <- true
+
+(* Schedule delivery of [size] bytes from [src] to [dst] over [net]; returns
+   false when the attempt cannot even leave (partition, crash, detachment).
+   The callback re-checks destination liveness at delivery time so a machine
+   crashing mid-flight swallows the bytes, like a real wire.
+
+   [fifo], when given, is a per-flow high-water mark: arrival times are
+   forced monotone so a flow (e.g. one direction of a TCP connection) never
+   reorders even though each transmission draws independent jitter. *)
+let transmit ?fifo t ~net:(n : Net.t) ~src:(src : Machine.t) ~dst:(dst : Machine.t) ~size
+    deliver =
+  if
+    (not src.up) || (not dst.up) || (not n.up)
+    || (not (attached t src.id n.id))
+    || not (attached t dst.id n.id)
+  then false
+  else begin
+    match Net.latency n ~size with
+    | None -> false
+    | Some lat ->
+      Ntcs_util.Metrics.incr t.metrics "net.bytes" ~by:size;
+      Ntcs_util.Metrics.incr t.metrics "net.frames";
+      let arrival = Sched.now t.sched + lat in
+      let arrival =
+        match fifo with
+        | Some r ->
+          let a = max arrival !r in
+          r := a;
+          a
+        | None -> arrival
+      in
+      Sched.at t.sched arrival (fun () -> if dst.up && n.up then deliver ());
+      true
+  end
+
+let run ?until t = Sched.run ?until t.sched

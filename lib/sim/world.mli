@@ -1,0 +1,72 @@
+(** A simulated world: scheduler + machines + networks + bookkeeping —
+    the "hypothetical machine configuration" of the paper's figures.
+
+    Experiments build one, spawn NTCS modules on its machines and run
+    virtual time forward. Everything is deterministic under the seed. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+(** {1 Accessors} *)
+
+val sched : t -> Sched.t
+val metrics : t -> Ntcs_util.Metrics.t
+val trace : t -> Trace.t
+val rng : t -> Ntcs_util.Rng.t
+val now : t -> int
+
+val record : t -> cat:string -> actor:string -> string -> unit
+(** Trace an event at the current virtual time. *)
+
+(** {1 Topology} *)
+
+val add_machine :
+  t -> name:string -> Machine.mtype -> ?drift_ppm:float -> ?offset_us:int -> unit -> Machine.t
+
+val add_net : t -> name:string -> Net.kind -> ?latency:int * int * int -> unit -> Net.t
+val machine : t -> Machine.id -> Machine.t
+val machine_opt : t -> Machine.id -> Machine.t option
+val net : t -> Net.id -> Net.t
+val net_opt : t -> Net.id -> Net.t option
+val attach : t -> Machine.t -> Net.t -> unit
+val attached : t -> Machine.id -> Net.id -> bool
+val nets_of_machine : t -> Machine.id -> Net.id list
+val machines_on : t -> Net.id -> Machine.id list
+val common_nets : t -> Machine.id -> Machine.id -> Net.id list
+val all_machines : t -> Machine.t list
+val all_nets : t -> Net.t list
+
+(** {1 Processes} *)
+
+val spawn : t -> machine:Machine.t -> name:string -> (unit -> unit) -> Sched.pid
+(** Spawn a process on a machine; crashes are recorded in the trace
+    (category ["sim.proc_crash"]). *)
+
+val machine_of_proc : t -> Sched.pid -> Machine.id option
+val procs_on_machine : t -> Machine.id -> Sched.pid list
+
+val crash_machine : t -> Machine.t -> unit
+(** Mark the machine down and kill every process on it. *)
+
+val restart_machine : t -> Machine.t -> unit
+
+(** {1 Transmission} *)
+
+val transmit :
+  ?fifo:int ref ->
+  t ->
+  net:Net.t ->
+  src:Machine.t ->
+  dst:Machine.t ->
+  size:int ->
+  (unit -> unit) ->
+  bool
+(** Schedule delivery of [size] bytes; [false] when the attempt cannot even
+    leave (partition, crash, detachment). The callback re-checks destination
+    liveness at delivery time, so a machine crashing mid-flight swallows the
+    bytes. [fifo] is a per-flow high-water mark forcing monotone arrivals
+    (e.g. one direction of a TCP connection), so jitter never reorders a
+    flow. *)
+
+val run : ?until:int -> t -> unit

@@ -1,0 +1,59 @@
+(* Synthetic document corpus for the URSA testbed. A fixed set of topic
+   vocabularies (what the backend servers would have indexed: systems
+   literature) plus a deterministic generator that composes documents from
+   them, so experiments can scale corpus size while remaining exactly
+   reproducible. *)
+
+type doc = { d_id : int; d_title : string; d_body : string }
+
+let topics =
+  [|
+    ( "networking",
+      [| "network"; "transparent"; "message"; "circuit"; "gateway"; "internet"; "routing";
+         "packet"; "latency"; "protocol"; "virtual"; "channel"; "socket"; "stream" |] );
+    ( "naming",
+      [| "name"; "server"; "address"; "resolution"; "binding"; "lookup"; "registry";
+         "directory"; "attribute"; "unique"; "identifier"; "cache" |] );
+    ( "retrieval",
+      [| "index"; "search"; "document"; "query"; "ranking"; "relevance"; "term"; "inverted";
+         "posting"; "corpus"; "retrieval"; "score" |] );
+    ( "systems",
+      [| "process"; "kernel"; "scheduler"; "portable"; "layer"; "module"; "recursion";
+         "exception"; "debug"; "monitor"; "clock"; "distributed" |] );
+    ( "hardware",
+      [| "vax"; "sun"; "apollo"; "workstation"; "backend"; "processor"; "memory"; "byte";
+         "ordering"; "machine"; "ring"; "ethernet" |] );
+  |]
+
+let sentence rng (vocab : string array) =
+  let n = 5 + Ntcs_util.Rng.int rng 8 in
+  let words = List.init n (fun _ -> Ntcs_util.Rng.pick rng vocab) in
+  String.concat " " words ^ "."
+
+(* Deterministically generate [n] documents. Each document leans on one
+   primary topic with spillover from one secondary topic, which gives the
+   rankings realistic structure (multi-term queries prefer on-topic docs). *)
+let generate ?(seed = 1986) n =
+  let rng = Ntcs_util.Rng.create seed in
+  List.init n (fun i ->
+      let primary_idx = Ntcs_util.Rng.int rng (Array.length topics) in
+      let secondary_idx = Ntcs_util.Rng.int rng (Array.length topics) in
+      let pname, pvocab = topics.(primary_idx) in
+      let _, svocab = topics.(secondary_idx) in
+      let sentences =
+        List.init
+          (4 + Ntcs_util.Rng.int rng 6)
+          (fun _ ->
+            if Ntcs_util.Rng.int rng 4 = 0 then sentence rng svocab else sentence rng pvocab)
+      in
+      {
+        d_id = i;
+        d_title = Printf.sprintf "%s-report-%d" pname i;
+        d_body = String.concat " " sentences;
+      })
+
+(* Split a corpus round-robin across [k] index/doc server partitions. *)
+let partition k docs =
+  let parts = Array.make k [] in
+  List.iteri (fun i d -> parts.(i mod k) <- d :: parts.(i mod k)) docs;
+  Array.to_list (Array.map List.rev parts)

@@ -1,0 +1,14 @@
+(** Synthetic document corpus for the URSA testbed: topic vocabularies plus
+    a deterministic generator, so experiments scale corpus size while
+    staying exactly reproducible. *)
+
+type doc = { d_id : int; d_title : string; d_body : string }
+
+val topics : (string * string array) array
+
+val generate : ?seed:int -> int -> doc list
+(** [generate n] — each document leans on a primary topic with spillover
+    from a secondary one, giving rankings realistic structure. *)
+
+val partition : int -> doc list -> doc list list
+(** Round-robin split across [k] index/doc-server partitions. *)

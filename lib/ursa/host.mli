@@ -1,0 +1,25 @@
+(** The host-processor / user-workstation side of URSA: a thin client that
+    locates the search coordinator and doc stores through the naming service
+    and issues queries and fetches. *)
+
+open Ntcs
+
+type t
+
+val create : Commod.t -> t
+
+val search : ?k:int -> ?timeout_us:int -> t -> string -> (Ursa_msg.search_reply, Errors.t) result
+
+val fetch : ?timeout_us:int -> t -> doc:int -> (string * string, Errors.t) result
+(** [(title, body)] from whichever doc store holds the document. *)
+
+val deploy :
+  Cluster.t ->
+  machines:string list ->
+  partitions:int ->
+  corpus:Corpus.doc list ->
+  search_machine:string ->
+  unit
+(** Spawn a full installation: [partitions] index servers and doc stores
+    round-robin over [machines], plus one search coordinator. Settle the
+    cluster afterwards to boot. *)

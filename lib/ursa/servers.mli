@@ -1,0 +1,32 @@
+(** The URSA backend servers (§1.2): "a number of backend servers (e.g., for
+    index lookup, searching, or retrieval of documents), handling requests
+    from host processors or user workstations" — glued together exclusively
+    through the NTCS.
+
+    Bodies receive an already-bound ComMod, so they compose with
+    [Process_ctl] specifications (relocatable backends). *)
+
+open Ntcs
+
+val index_service : string
+val doc_service : string
+val search_service : string
+
+val index_server_name : int -> string
+val index_server_body : Corpus.doc list -> Commod.t -> unit
+val index_server_attrs : partition:int -> (string * string) list
+
+val doc_server_name : int -> string
+val doc_server_body : Corpus.doc list -> Commod.t -> unit
+val doc_server_attrs : partition:int -> (string * string) list
+
+val merge_scores : Ursa_msg.index_reply list -> (int * float) list
+(** Global tf-idf from per-partition postings (df summed across
+    partitions), sorted best first, ties by doc id. *)
+
+val search_server_body : Commod.t -> unit
+(** The coordinator: locates every index partition through attribute-based
+    naming, fans out, merges, answers top-k; refreshes the partition set
+    when one relocates. *)
+
+val search_server_attrs : (string * string) list

@@ -1,0 +1,39 @@
+(* Tokenization for the URSA retrieval pipeline: lowercase alphanumeric
+   terms, minus a small stopword list. *)
+
+let stopwords =
+  [ "a"; "an"; "and"; "are"; "as"; "at"; "be"; "by"; "for"; "from"; "has"; "in"; "is"; "it";
+    "its"; "of"; "on"; "or"; "that"; "the"; "to"; "was"; "were"; "will"; "with" ]
+
+let is_stopword w = List.mem w stopwords
+
+let tokens text =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      let w = String.lowercase_ascii (Buffer.contents buf) in
+      Buffer.clear buf;
+      if not (is_stopword w) then out := w :: !out
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char buf c
+      | _ -> flush ())
+    text;
+  flush ();
+  List.rev !out
+
+(* Term frequencies of a document. *)
+let term_counts text =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun w ->
+      match Hashtbl.find_opt tbl w with
+      | Some r -> incr r
+      | None -> Hashtbl.replace tbl w (ref 1))
+    (tokens text);
+  Hashtbl.fold (fun w r acc -> (w, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

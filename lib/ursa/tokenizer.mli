@@ -1,0 +1,11 @@
+(** Tokenization for the URSA retrieval pipeline: lowercase alphanumeric
+    terms, minus a small stopword list. *)
+
+val stopwords : string list
+val is_stopword : string -> bool
+
+val tokens : string -> string list
+(** In document order, stopwords removed. *)
+
+val term_counts : string -> (string * int) list
+(** Term frequencies, sorted by term. *)

@@ -1,0 +1,34 @@
+(* Bounded FIFO queue. Models the finite buffering of mailboxes and gateway
+   queues: once full, pushes are refused and the caller decides whether that
+   means back-pressure or a dropped message. *)
+
+type 'a t = {
+  capacity : int;
+  items : 'a Queue.t;
+  mutable dropped : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Bqueue.create: capacity must be positive";
+  { capacity; items = Queue.create (); dropped = 0 }
+
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items
+let is_full t = Queue.length t.items >= t.capacity
+let capacity t = t.capacity
+
+let push t x =
+  if is_full t then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end else begin
+    Queue.push x t.items;
+    true
+  end
+
+let pop t = Queue.take_opt t.items
+let peek t = Queue.peek_opt t.items
+let dropped t = t.dropped
+let clear t = Queue.clear t.items
+
+let iter t f = Queue.iter f t.items

@@ -1,0 +1,91 @@
+(* Small LRU cache over a Hashtbl plus a doubly-linked recency list.
+   Used for the ND-layer's UAdd -> physical-address cache and the IP-layer's
+   route cache. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create 16; head = None; tail = None; hits = 0; misses = 0 }
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with
+   | Some h -> h.prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key
+
+let set t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    node.value <- value;
+    unlink t node;
+    push_front t node
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    let node = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key node;
+    push_front t node
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table key
+
+let length t = Hashtbl.length t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let stats t = (t.hits, t.misses)
+
+let iter t f = Hashtbl.iter (fun k node -> f k node.value) t.table

@@ -1,0 +1,24 @@
+(** Fixed-capacity LRU cache with hit/miss accounting. *)
+
+type ('k, 'v) t
+
+val create : int -> ('k, 'v) t
+(** [create capacity] — raises [Invalid_argument] if [capacity <= 0]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; refreshes recency and updates hit/miss counters. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test without touching recency or counters. *)
+
+val set : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or update, evicting the least-recently-used entry when full. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val length : ('k, 'v) t -> int
+val clear : ('k, 'v) t -> unit
+
+val stats : ('k, 'v) t -> int * int
+(** [(hits, misses)] since creation. *)
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit

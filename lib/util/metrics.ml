@@ -1,0 +1,47 @@
+(* Named counter registry. The NTCS layers bump counters (conversions
+   performed/avoided, NSP round trips, faults, recursive entries, ...) and the
+   experiment harness reads them out. A registry is explicit state — one per
+   simulated world — so parallel experiments never share counters. *)
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; gauges = Hashtbl.create 8 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.counters name r;
+    r
+
+let incr ?(by = 1) t name =
+  let r = counter t name in
+  r := !r + by
+
+let get t name = match Hashtbl.find_opt t.counters name with
+  | Some r -> !r
+  | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge t name = match Hashtbl.find_opt t.gauges name with
+  | Some r -> !r
+  | None -> 0.
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges
+
+let to_alist t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-40s %d@." k v) (to_alist t)

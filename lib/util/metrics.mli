@@ -1,0 +1,21 @@
+(** Named counters and gauges, one registry per simulated world. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump counter [name], creating it at zero on first use. *)
+
+val get : t -> string -> int
+(** Current counter value; 0 when it was never bumped. *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge : t -> string -> float
+
+val reset : t -> unit
+
+val to_alist : t -> (string * int) list
+(** Counters sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

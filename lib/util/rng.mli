@@ -1,0 +1,39 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    All randomness in the simulator flows through explicitly-seeded values of
+    {!t}, keeping every experiment reproducible. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val next_int : t -> int
+(** Next non-negative int (62 bits). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val between : t -> int -> int -> int
+(** [between t lo hi] is uniform in [\[lo, hi)]; returns [lo] if [hi <= lo]. *)
+
+val split : t -> t
+(** Derive an independent generator (for giving subsystems their own stream). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly chosen element. Raises [Invalid_argument] on an empty array. *)

@@ -1,0 +1,20 @@
+(** Sample accumulator: mean, stddev, min/max, percentiles. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+
+val min_ : t -> float
+val max_ : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]], linear interpolation. *)
+
+val median : t -> float
+
+val summary : t -> string
+(** One-line human-readable digest. *)

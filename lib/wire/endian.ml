@@ -1,0 +1,59 @@
+(* Byte-order primitives. Only image mode (§5.1) ever uses these with a
+   *machine-dependent* order; shift mode is built from shift/mask operations
+   precisely so that it never needs to know the host order. *)
+
+type order = Le | Be
+
+let order_to_string = function Le -> "le" | Be -> "be"
+
+let put_u16 ~order buf v =
+  let v = v land 0xFFFF in
+  match order with
+  | Le ->
+    Buffer.add_char buf (Char.chr (v land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+  | Be ->
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u32 ~order buf v =
+  match order with
+  | Le ->
+    put_u16 ~order buf (v land 0xFFFF);
+    put_u16 ~order buf ((v lsr 16) land 0xFFFF)
+  | Be ->
+    put_u16 ~order buf ((v lsr 16) land 0xFFFF);
+    put_u16 ~order buf (v land 0xFFFF)
+
+let put_u64 ~order buf v =
+  match order with
+  | Le ->
+    put_u32 ~order buf (v land 0xFFFFFFFF);
+    put_u32 ~order buf ((v lsr 32) land 0xFFFFFFFF)
+  | Be ->
+    put_u32 ~order buf ((v lsr 32) land 0xFFFFFFFF);
+    put_u32 ~order buf (v land 0xFFFFFFFF)
+
+let get_u8 b off = Char.code (Bytes.get b off)
+
+let get_u16 ~order b off =
+  match order with
+  | Le -> get_u8 b off lor (get_u8 b (off + 1) lsl 8)
+  | Be -> (get_u8 b off lsl 8) lor get_u8 b (off + 1)
+
+let get_u32 ~order b off =
+  match order with
+  | Le -> get_u16 ~order b off lor (get_u16 ~order b (off + 2) lsl 16)
+  | Be -> (get_u16 ~order b off lsl 16) lor get_u16 ~order b (off + 2)
+
+let get_u64 ~order b off =
+  match order with
+  | Le -> get_u32 ~order b off lor (get_u32 ~order b (off + 4) lsl 32)
+  | Be -> (get_u32 ~order b off lsl 32) lor get_u32 ~order b (off + 4)
+
+(* Sign-extend a 32-bit unsigned value into an OCaml int. *)
+let sign32 v = if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let sign16 v = if v land 0x8000 <> 0 then v - (1 lsl 16) else v
+
+let sign8 v = if v land 0x80 <> 0 then v - 256 else v

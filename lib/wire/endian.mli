@@ -1,0 +1,29 @@
+(** Byte-order primitives.
+
+    Only image mode (§5.1 of the paper) uses these with a machine-dependent
+    order; shift mode is built purely from shift/mask operations so it never
+    consults a byte order. *)
+
+type order = Le | Be
+
+val order_to_string : order -> string
+
+(** {1 Writers} — append to a buffer in the given order. Values are masked
+    to the field width. *)
+
+val put_u16 : order:order -> Buffer.t -> int -> unit
+val put_u32 : order:order -> Buffer.t -> int -> unit
+val put_u64 : order:order -> Buffer.t -> int -> unit
+
+(** {1 Readers} — read from [bytes] at an offset. Unsigned results. *)
+
+val get_u8 : Bytes.t -> int -> int
+val get_u16 : order:order -> Bytes.t -> int -> int
+val get_u32 : order:order -> Bytes.t -> int -> int
+val get_u64 : order:order -> Bytes.t -> int -> int
+
+(** {1 Sign extension} — reinterpret an unsigned field as two's-complement. *)
+
+val sign8 : int -> int
+val sign16 : int -> int
+val sign32 : int -> int

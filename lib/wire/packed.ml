@@ -1,0 +1,251 @@
+(* Packed mode (§5.1): the application supplies pack/unpack functions that
+   turn a message into "a standard byte-stream transport format" of its own
+   choosing. The paper's implementation used a character representation built
+   with machine-independent constructs (sprintf/sscanf); this module provides
+   the same thing as composable codecs, plus the equivalent of Schlegel's
+   generator that derives pack/unpack directly from a message structure
+   definition (a {!Layout.t}).
+
+   Transport format: each value is rendered as a decimal/escaped-text token
+   terminated by '\n'. Machine representation never leaks into the bytes,
+   so byte ordering problems "do not arise, since the message is viewed as a
+   byte stream". *)
+
+exception Unpack_error of string
+
+type cursor = { data : string; mutable pos : int }
+
+let cursor_of_bytes b = { data = Bytes.to_string b; pos = 0 }
+
+let token cur =
+  if cur.pos >= String.length cur.data then raise (Unpack_error "unexpected end of packed data");
+  match String.index_from_opt cur.data cur.pos '\n' with
+  | None -> raise (Unpack_error "unterminated token")
+  | Some i ->
+    let tok = String.sub cur.data cur.pos (i - cur.pos) in
+    cur.pos <- i + 1;
+    tok
+
+let take_raw cur n =
+  if cur.pos + n > String.length cur.data then raise (Unpack_error "truncated raw block");
+  let s = String.sub cur.data cur.pos n in
+  cur.pos <- cur.pos + n;
+  (* raw blocks are '\n'-terminated for symmetry *)
+  if cur.pos >= String.length cur.data || cur.data.[cur.pos] <> '\n' then
+    raise (Unpack_error "missing raw block terminator");
+  cur.pos <- cur.pos + 1;
+  s
+
+type 'a t = {
+  pack : Buffer.t -> 'a -> unit;
+  unpack : cursor -> 'a;
+}
+
+let run_pack codec v =
+  let buf = Buffer.create 64 in
+  codec.pack buf v;
+  Buffer.to_bytes buf
+
+let run_unpack codec data =
+  let cur = cursor_of_bytes data in
+  let v = codec.unpack cur in
+  if cur.pos <> String.length cur.data then raise (Unpack_error "trailing bytes after message");
+  v
+
+let run_unpack_result codec data =
+  match run_unpack codec data with
+  | v -> Ok v
+  | exception Unpack_error msg -> Error msg
+
+(* --- primitive codecs --- *)
+
+let int =
+  {
+    pack = (fun buf v -> Buffer.add_string buf (string_of_int v); Buffer.add_char buf '\n');
+    unpack =
+      (fun cur ->
+        let tok = token cur in
+        match int_of_string_opt tok with
+        | Some v -> v
+        | None -> raise (Unpack_error (Printf.sprintf "bad integer token %S" tok)));
+  }
+
+let bool =
+  {
+    pack = (fun buf v -> Buffer.add_string buf (if v then "T\n" else "F\n"));
+    unpack =
+      (fun cur ->
+        match token cur with
+        | "T" -> true
+        | "F" -> false
+        | tok -> raise (Unpack_error (Printf.sprintf "bad boolean token %S" tok)));
+  }
+
+let float =
+  {
+    pack =
+      (fun buf v ->
+        (* %h is exact and locale-independent — the moral equivalent of the
+           paper's sprintf-based machine independence. *)
+        Buffer.add_string buf (Printf.sprintf "%h\n" v));
+    unpack =
+      (fun cur ->
+        let tok = token cur in
+        match float_of_string_opt tok with
+        | Some v -> v
+        | None -> raise (Unpack_error (Printf.sprintf "bad float token %S" tok)));
+  }
+
+(* Strings go length-prefixed + raw so they may contain any byte. *)
+let string =
+  {
+    pack =
+      (fun buf v ->
+        Buffer.add_string buf (string_of_int (String.length v));
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf v;
+        Buffer.add_char buf '\n');
+    unpack =
+      (fun cur ->
+        let n = int.unpack cur in
+        if n < 0 then raise (Unpack_error "negative string length");
+        take_raw cur n);
+  }
+
+(* --- combinators --- *)
+
+let list item =
+  {
+    pack =
+      (fun buf vs ->
+        int.pack buf (List.length vs);
+        List.iter (item.pack buf) vs);
+    unpack =
+      (fun cur ->
+        let n = int.unpack cur in
+        if n < 0 then raise (Unpack_error "negative list length");
+        List.init n (fun _ -> item.unpack cur));
+  }
+
+let array item =
+  let as_list = list item in
+  {
+    pack = (fun buf vs -> as_list.pack buf (Array.to_list vs));
+    unpack = (fun cur -> Array.of_list (as_list.unpack cur));
+  }
+
+let pair a b =
+  {
+    pack =
+      (fun buf (x, y) ->
+        a.pack buf x;
+        b.pack buf y);
+    unpack =
+      (fun cur ->
+        let x = a.unpack cur in
+        let y = b.unpack cur in
+        (x, y));
+  }
+
+let triple a b c =
+  {
+    pack =
+      (fun buf (x, y, z) ->
+        a.pack buf x;
+        b.pack buf y;
+        c.pack buf z);
+    unpack =
+      (fun cur ->
+        let x = a.unpack cur in
+        let y = b.unpack cur in
+        let z = c.unpack cur in
+        (x, y, z));
+  }
+
+let option item =
+  {
+    pack =
+      (fun buf v ->
+        match v with
+        | None -> bool.pack buf false
+        | Some x ->
+          bool.pack buf true;
+          item.pack buf x);
+    unpack =
+      (fun cur -> if bool.unpack cur then Some (item.unpack cur) else None);
+  }
+
+(* Map a codec through an isomorphism: how record types get their codecs. *)
+let iso ~fwd ~bwd codec =
+  {
+    pack = (fun buf v -> codec.pack buf (bwd v));
+    unpack = (fun cur -> fwd (codec.unpack cur));
+  }
+
+(* Tagged unions: each case is (tag, codec embedded via partial iso). *)
+let tagged cases =
+  {
+    pack =
+      (fun buf v ->
+        let rec go = function
+          | [] -> invalid_arg "Packed.tagged: no case accepts this value"
+          | (tag, probe, _) :: rest -> (
+            match probe v with
+            | Some packer ->
+              string.pack buf tag;
+              packer buf
+            | None -> go rest)
+        in
+        go cases);
+    unpack =
+      (fun cur ->
+        let tag = string.unpack cur in
+        match List.find_opt (fun (t, _, _) -> String.equal t tag) cases with
+        | Some (_, _, unpacker) -> unpacker cur
+        | None -> raise (Unpack_error (Printf.sprintf "unknown tag %S" tag)));
+  }
+
+let bytes =
+  iso ~fwd:Bytes.of_string ~bwd:Bytes.to_string string
+
+(* --- the structure-definition generator (Schlegel [22]) ---
+
+   Given the same {!Layout.t} that drives image mode, generate the packed
+   codec for its value list. Applications that describe their messages once
+   get both modes for free. *)
+
+let value_codec field =
+  match field with
+  | Layout.F_i8 | Layout.F_i16 | Layout.F_i32 | Layout.F_i64 ->
+    iso
+      ~fwd:(fun v -> Layout.V_int v)
+      ~bwd:(function
+        | Layout.V_int v -> v
+        | Layout.V_str _ -> invalid_arg "packed: layout expects integer")
+      int
+  | Layout.F_char_array n ->
+    iso
+      ~fwd:(fun s -> Layout.V_str s)
+      ~bwd:(function
+        | Layout.V_str s when String.length s <= n -> s
+        | Layout.V_str _ -> invalid_arg "packed: string exceeds char array"
+        | Layout.V_int _ -> invalid_arg "packed: layout expects string")
+      string
+
+let of_layout (layout : Layout.t) : Layout.value list t =
+  let codecs = List.map value_codec layout in
+  {
+    pack =
+      (fun buf values ->
+        let rec go cs vs =
+          match (cs, vs) with
+          | [], [] -> ()
+          | c :: cs, v :: vs ->
+            c.pack buf v;
+            go cs vs
+          | [], _ :: _ | _ :: _, [] ->
+            invalid_arg "packed: value count does not match layout"
+        in
+        go codecs values);
+    unpack = (fun cur -> List.map (fun c -> c.unpack cur) codecs);
+  }

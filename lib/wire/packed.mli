@@ -1,0 +1,61 @@
+(** Packed mode (§5.1): application-supplied conversion into a standard
+    byte-stream transport format.
+
+    The transport format is character-based — every value is a
+    machine-representation-independent text token — so "standard problems
+    with byte orderings do not arise, since the message is viewed as a byte
+    stream". Codecs compose; {!of_layout} is the moral equivalent of
+    Schlegel's generator, deriving pack/unpack directly from a message
+    structure definition. *)
+
+exception Unpack_error of string
+
+type cursor
+(** Read position inside packed data. *)
+
+type 'a t = {
+  pack : Buffer.t -> 'a -> unit;
+  unpack : cursor -> 'a;
+}
+(** A codec: how to pack a value into the transport format and back. *)
+
+val run_pack : 'a t -> 'a -> Bytes.t
+
+val run_unpack : 'a t -> Bytes.t -> 'a
+(** Raises {!Unpack_error} on malformed data or trailing bytes. *)
+
+val run_unpack_result : 'a t -> Bytes.t -> ('a, string) result
+(** Exception-free variant for protocol boundaries. *)
+
+(** {1 Primitives} *)
+
+val int : int t
+val bool : bool t
+
+val float : float t
+(** Exact (hexadecimal text representation). *)
+
+val string : string t
+(** Length-prefixed; may contain any byte. *)
+
+val bytes : Bytes.t t
+
+(** {1 Combinators} *)
+
+val list : 'a t -> 'a list t
+val array : 'a t -> 'a array t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val option : 'a t -> 'a option t
+
+val iso : fwd:('a -> 'b) -> bwd:('b -> 'a) -> 'a t -> 'b t
+(** Map a codec through an isomorphism — how record types get codecs. *)
+
+val tagged : (string * ('a -> (Buffer.t -> unit) option) * (cursor -> 'a)) list -> 'a t
+(** Tagged unions: each case is [(tag, probe, unpacker)]. [probe v] returns
+    the packer when the case accepts [v]. Unknown tags raise
+    {!Unpack_error}; a value no case accepts raises [Invalid_argument]. *)
+
+val of_layout : Layout.t -> Layout.value list t
+(** Generate the packed codec from a message structure definition, so one
+    description yields both conversion modes. *)

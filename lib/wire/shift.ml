@@ -1,0 +1,71 @@
+(* Shift mode (§5.2): NTCS message headers are structs of four-byte integers
+   "byte shifted sequentially into the final message, using standard high
+   level shift and mask routines". Because values travel as an explicit byte
+   sequence produced by shifts, no host byte order is ever consulted — the
+   same code is correct on every machine, and it is cheap enough to run on
+   *every* transfer regardless of destination.
+
+   Words are unsigned 32-bit values carried in OCaml ints. *)
+
+exception Shift_error of string
+
+let word_mask = 0xFFFFFFFF
+
+let check_word v =
+  if v < 0 || v > word_mask then
+    raise (Shift_error (Printf.sprintf "value %d does not fit an unsigned 32-bit word" v))
+
+(* One word, most significant byte first, via shift/mask only. *)
+let put_word buf v =
+  check_word v;
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let get_word data off =
+  if off + 4 > Bytes.length data then raise (Shift_error "truncated word");
+  let b i = Char.code (Bytes.get data (off + i)) in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let encode_words words =
+  let buf = Buffer.create (4 * Array.length words) in
+  Array.iter (put_word buf) words;
+  Buffer.to_bytes buf
+
+let decode_words data ~off ~count =
+  if off + (4 * count) > Bytes.length data then
+    raise (Shift_error (Printf.sprintf "need %d words at offset %d, have %d bytes" count off
+                          (Bytes.length data)));
+  Array.init count (fun i -> get_word data (off + (4 * i)))
+
+(* --- bit fields ---
+
+   Headers divide words into bit fields as required. Fields are given as
+   (value, width) pairs, most significant first; total width must be 32. *)
+
+let pack_bits fields =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 fields in
+  if total <> 32 then
+    raise (Shift_error (Printf.sprintf "bit fields sum to %d, want 32" total));
+  List.fold_left
+    (fun acc (v, w) ->
+      if w <= 0 || w > 32 then raise (Shift_error "bad field width");
+      let limit = if w = 32 then word_mask else (1 lsl w) - 1 in
+      if v < 0 || v > limit then
+        raise (Shift_error (Printf.sprintf "value %d does not fit %d bits" v w));
+      (acc lsl w) lor v)
+    0 fields
+
+let unpack_bits word widths =
+  let total = List.fold_left ( + ) 0 widths in
+  if total <> 32 then
+    raise (Shift_error (Printf.sprintf "bit fields sum to %d, want 32" total));
+  let rec go remaining = function
+    | [] -> []
+    | w :: ws ->
+      let shift = remaining - w in
+      let mask = if w = 32 then word_mask else (1 lsl w) - 1 in
+      ((word lsr shift) land mask) :: go shift ws
+  in
+  go 32 widths

@@ -1,0 +1,27 @@
+(** Shift mode (§5.2): NTCS headers as sequences of four-byte integers,
+    moved byte-by-byte with shift/mask operations.
+
+    Because the byte sequence is produced by explicit shifts, no host byte
+    order is ever consulted: the same code is correct on every machine, and
+    it is cheap enough to use on every transfer regardless of destination.
+    Words are unsigned 32-bit values carried in OCaml [int]s. *)
+
+exception Shift_error of string
+
+val put_word : Buffer.t -> int -> unit
+(** Append one word, most significant byte first. Raises {!Shift_error} if
+    the value does not fit 32 unsigned bits. *)
+
+val get_word : Bytes.t -> int -> int
+(** Read one word at a byte offset. Raises {!Shift_error} when truncated. *)
+
+val encode_words : int array -> Bytes.t
+val decode_words : Bytes.t -> off:int -> count:int -> int array
+
+val pack_bits : (int * int) list -> int
+(** [pack_bits [(v1, w1); ...]] packs bit fields, most significant first,
+    into one word. Widths must sum to 32 and every value must fit its
+    width; {!Shift_error} otherwise. *)
+
+val unpack_bits : int -> int list -> int list
+(** Inverse of {!pack_bits} given the widths. *)

@@ -1,0 +1,97 @@
+(* Shared scaffolding for the NTCS test suites. *)
+
+open Ntcs
+
+let check_ok label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error %s" label (Errors.to_string e)
+
+let check_err label expected = function
+  | Ok _ -> Alcotest.failf "%s: expected error %s, got Ok" label (Errors.to_string expected)
+  | Error e ->
+    Alcotest.(check string) label (Errors.to_string expected) (Errors.to_string e)
+
+let raw s = Ntcs_wire.Convert.payload_raw (Bytes.of_string s)
+let raw_bytes b = Ntcs_wire.Convert.payload_raw b
+let body env = Bytes.to_string env.Ali_layer.data
+
+(* One TCP LAN: a VAX (NS host), a Sun and a second Sun. *)
+let lan_cluster ?seed ?tweak () =
+  Cluster.build ?seed ?tweak
+    ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
+    ~machines:
+      [
+        ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]);
+        ("sun1", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+        ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+      ]
+    ~ns:"vax1" ()
+
+(* TCP LAN + Apollo ring bridged by one prime gateway. *)
+let two_net_cluster ?seed ?tweak () =
+  Cluster.build ?seed ?tweak
+    ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan); ("ring", Ntcs_sim.Net.Mbx_ring) ]
+    ~machines:
+      [
+        ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]);
+        ("bridge", Ntcs_sim.Machine.Sun3, [ "ether"; "ring" ]);
+        ("ap1", Ntcs_sim.Machine.Apollo, [ "ring" ]);
+        ("ap2", Ntcs_sim.Machine.Apollo, [ "ring" ]);
+      ]
+    ~gateways:[ ("bridge-gw", "bridge", [ "ether"; "ring" ]) ]
+    ~ns:"vax1" ()
+
+(* Three networks in a line, two gateways: lan1 -(gwA)- lan2 -(gwB)- ring. *)
+let three_net_cluster ?seed ?tweak () =
+  Cluster.build ?seed ?tweak
+    ~nets:
+      [
+        ("lan1", Ntcs_sim.Net.Tcp_lan);
+        ("lan2", Ntcs_sim.Net.Tcp_lan);
+        ("ring", Ntcs_sim.Net.Mbx_ring);
+      ]
+    ~machines:
+      [
+        ("vax1", Ntcs_sim.Machine.Vax, [ "lan1" ]);
+        ("mid1", Ntcs_sim.Machine.Sun3, [ "lan1"; "lan2" ]);
+        ("mid2", Ntcs_sim.Machine.Sun3, [ "lan2"; "ring" ]);
+        ("sun1", Ntcs_sim.Machine.Sun3, [ "lan2" ]);
+        ("ap1", Ntcs_sim.Machine.Apollo, [ "ring" ]);
+      ]
+    ~gateways:[ ("gwA", "mid1", [ "lan1"; "lan2" ]); ("gwB", "mid2", [ "lan2"; "ring" ]) ]
+    ~ns:"vax1" ()
+
+(* Spawn an echo server named [name] on [machine]: replies "echo:<data>" to
+   synchronous sends, counts messages into [hits] if given. *)
+let spawn_echo ?(attrs = []) ?hits cluster ~machine ~name =
+  ignore
+    (Cluster.spawn cluster ~machine ~name (fun node ->
+         match Commod.bind node ~name ~attrs with
+         | Error e -> Alcotest.failf "echo %s bind failed: %s" name (Errors.to_string e)
+         | Ok commod ->
+           let rec loop () =
+             (match Ali_layer.receive commod with
+              | Ok env ->
+                (match hits with Some r -> incr r | None -> ());
+                if env.Ali_layer.expects_reply then
+                  ignore
+                    (Ali_layer.reply commod env
+                       (raw_bytes (Bytes.cat (Bytes.of_string "echo:") env.Ali_layer.data)))
+              | Error _ -> ());
+             loop ()
+           in
+           loop ()))
+
+(* Run [f] in a fresh client process and return a lazy result cell; fails
+   the test if the body never completed by the time the cell is read. *)
+let in_process cluster ~machine ~name f =
+  let cell = ref None in
+  ignore
+    (Cluster.spawn cluster ~machine ~name (fun node -> cell := Some (f node)));
+  fun () ->
+    match !cell with
+    | Some v -> v
+    | None -> Alcotest.failf "process %s did not complete" name
+
+(* Bind a ComMod or fail the test. *)
+let bind_exn node ~name = check_ok ("bind " ^ name) (Commod.bind node ~name)

@@ -1,0 +1,313 @@
+(* The naming service (§3): lookup semantics, attribute-based naming,
+   forwarding logic, cache-only operation after name-server removal (E1),
+   and replicated name servers with failover (E10, the §7 successor). *)
+
+open Ntcs
+open Helpers
+
+let test_newest_wins_on_duplicate_name () =
+  let c = lan_cluster () in
+  Cluster.settle c;
+  let first = ref None and second = ref None in
+  ignore
+    (Cluster.spawn c ~machine:"sun1" ~name:"gen0" (fun node ->
+         let commod = bind_exn node ~name:"dup" in
+         first := Some (Commod.my_addr commod);
+         Ntcs_sim.Sched.sleep (Node.sched node) 60_000_000));
+  Cluster.settle c;
+  ignore
+    (Cluster.spawn c ~machine:"sun2" ~name:"gen1" (fun node ->
+         let commod = bind_exn node ~name:"dup" in
+         second := Some (Commod.my_addr commod);
+         Ntcs_sim.Sched.sleep (Node.sched node) 60_000_000));
+  Cluster.settle c;
+  let result =
+    in_process c ~machine:"vax1" ~name:"client" (fun node ->
+        let commod = bind_exn node ~name:"client" in
+        check_ok "locate" (Ali_layer.locate commod "dup"))
+  in
+  Cluster.settle c;
+  (match (!second, result ()) with
+   | Some expected, got -> Alcotest.(check bool) "newest instance wins" true (Addr.equal expected got)
+   | None, _ -> Alcotest.fail "second instance missing")
+
+let test_attribute_lookup () =
+  let c = lan_cluster () in
+  Cluster.settle c;
+  spawn_echo c ~machine:"sun1" ~name:"idx0" ~attrs:[ ("service", "index"); ("part", "0") ];
+  spawn_echo c ~machine:"sun2" ~name:"idx1" ~attrs:[ ("service", "index"); ("part", "1") ];
+  spawn_echo c ~machine:"sun1" ~name:"doc0" ~attrs:[ ("service", "docs") ];
+  Cluster.settle c;
+  let result =
+    in_process c ~machine:"vax1" ~name:"client" (fun node ->
+        let commod = bind_exn node ~name:"client" in
+        let all = check_ok "by service" (Ali_layer.locate_attrs commod [ ("service", "index") ]) in
+        let one =
+          check_ok "by two attrs"
+            (Ali_layer.locate_attrs commod [ ("service", "index"); ("part", "1") ])
+        in
+        let none = check_ok "no match" (Ali_layer.locate_attrs commod [ ("service", "nope") ]) in
+        (List.length all, List.length one, List.length none))
+  in
+  Cluster.settle c;
+  Alcotest.(check (triple int int int)) "attr matching" (2, 1, 0) (result ())
+
+let test_locate_entry_details () =
+  let c = lan_cluster () in
+  Cluster.settle c;
+  spawn_echo c ~machine:"sun1" ~name:"svc" ~attrs:[ ("service", "echo") ];
+  Cluster.settle c;
+  let result =
+    in_process c ~machine:"vax1" ~name:"client" (fun node ->
+        let commod = bind_exn node ~name:"client" in
+        let addr = check_ok "locate" (Ali_layer.locate commod "svc") in
+        check_ok "resolve" (Ali_layer.locate_entry commod addr))
+  in
+  Cluster.settle c;
+  let entry = result () in
+  Alcotest.(check string) "name" "svc" entry.Ns_proto.e_name;
+  Alcotest.(check bool) "alive" true entry.Ns_proto.e_alive;
+  Alcotest.(check bool) "has phys" true (entry.Ns_proto.e_phys <> []);
+  Alcotest.(check (option string)) "attrs stored" (Some "echo")
+    (List.assoc_opt "service" entry.Ns_proto.e_attrs)
+
+let test_forward_query_semantics () =
+  let c = lan_cluster () in
+  Cluster.settle c;
+  let ns = Cluster.primary_ns c in
+  (* A long-lived module and a dead one with a newer replacement. *)
+  let alive_addr = ref None in
+  ignore
+    (Cluster.spawn c ~machine:"sun1" ~name:"alive" (fun node ->
+         let commod = bind_exn node ~name:"alive-svc" in
+         alive_addr := Some (Commod.my_addr commod);
+         let rec loop () =
+           ignore (Ali_layer.receive commod);
+           loop ()
+         in
+         loop ()));
+  let dead_addr = ref None in
+  let dead_pid =
+    Cluster.spawn c ~machine:"sun1" ~name:"old-gen" (fun node ->
+        let commod = bind_exn node ~name:"reborn-svc" in
+        dead_addr := Some (Commod.my_addr commod);
+        Ntcs_sim.Sched.sleep (Node.sched node) 120_000_000)
+  in
+  Cluster.settle c;
+  Ntcs_sim.Sched.kill (Cluster.sched c) dead_pid;
+  Cluster.settle c;
+  let replacement = ref None in
+  ignore
+    (Cluster.spawn c ~machine:"sun2" ~name:"new-gen" (fun node ->
+         let commod = bind_exn node ~name:"reborn-svc" in
+         replacement := Some (Commod.my_addr commod);
+         Ntcs_sim.Sched.sleep (Node.sched node) 120_000_000));
+  Cluster.settle c;
+  (* Query the server database through a fresh client's NSP path, by sending
+     Forward requests directly. *)
+  let results =
+    in_process c ~machine:"vax1" ~name:"prober" (fun node ->
+        let commod = bind_exn node ~name:"prober" in
+        let nsp = Commod.nsp_exn commod in
+        let f_alive = Nsp_layer.forward_query nsp (Option.get !alive_addr) in
+        let f_dead = Nsp_layer.forward_query nsp (Option.get !dead_addr) in
+        let f_unknown = Nsp_layer.forward_query nsp (Addr.unique ~server_id:77 ~value:9) in
+        (f_alive, f_dead, f_unknown))
+  in
+  Cluster.settle ~dt:10_000_000 c;
+  let f_alive, f_dead, f_unknown = results () in
+  Alcotest.(check bool) "alive module: no forward" true (f_alive = Ok None);
+  (match f_dead with
+   | Ok (Some fresh) ->
+     Alcotest.(check bool) "dead module forwards to replacement" true
+       (Addr.equal fresh (Option.get !replacement))
+   | Ok None -> Alcotest.fail "dead module reported alive"
+   | Error e -> Alcotest.failf "forward: %s" (Errors.to_string e));
+  Alcotest.(check bool) "unknown address errors" true
+    (match f_unknown with Error Errors.Unknown_address -> true | _ -> false);
+  Alcotest.(check bool) "ns db consistent" true (Name_server.db_size ns >= 4)
+
+let test_forward_no_replacement_is_dead () =
+  let c = lan_cluster () in
+  Cluster.settle c;
+  let gone_addr = ref None in
+  let pid =
+    Cluster.spawn c ~machine:"sun1" ~name:"goner" (fun node ->
+        let commod = bind_exn node ~name:"goner" in
+        gone_addr := Some (Commod.my_addr commod);
+        Ntcs_sim.Sched.sleep (Node.sched node) 120_000_000)
+  in
+  Cluster.settle c;
+  Ntcs_sim.Sched.kill (Cluster.sched c) pid;
+  Cluster.settle c;
+  let result =
+    in_process c ~machine:"vax1" ~name:"prober" (fun node ->
+        let commod = bind_exn node ~name:"prober" in
+        Nsp_layer.forward_query (Commod.nsp_exn commod) (Option.get !gone_addr))
+  in
+  Cluster.settle ~dt:10_000_000 c;
+  check_err "no replacement located" Errors.Destination_dead (result ())
+
+let test_forward_by_service_attribute () =
+  (* §3.5: "then looking for a similar name in a newer module. With our new
+     attribute-based naming, this is more involved." A replacement with a
+     *different* logical name but the same service attribute still counts as
+     similar. *)
+  let c = lan_cluster () in
+  Cluster.settle c;
+  let old_addr = ref None in
+  let pid =
+    Cluster.spawn c ~machine:"sun1" ~name:"old" (fun node ->
+        match Commod.bind node ~name:"searcher-v1" ~attrs:[ ("service", "search") ] with
+        | Error _ -> ()
+        | Ok commod ->
+          old_addr := Some (Commod.my_addr commod);
+          Ntcs_sim.Sched.sleep (Node.sched node) 120_000_000)
+  in
+  Cluster.settle c;
+  Ntcs_sim.Sched.kill (Cluster.sched c) pid;
+  Cluster.settle c;
+  let new_addr = ref None in
+  ignore
+    (Cluster.spawn c ~machine:"sun2" ~name:"new" (fun node ->
+         match Commod.bind node ~name:"searcher-v2" ~attrs:[ ("service", "search") ] with
+         | Error _ -> ()
+         | Ok commod ->
+           new_addr := Some (Commod.my_addr commod);
+           Ntcs_sim.Sched.sleep (Node.sched node) 120_000_000));
+  Cluster.settle c;
+  let fwd = ref None in
+  ignore
+    (Cluster.spawn c ~machine:"vax1" ~name:"prober" (fun node ->
+         let commod = bind_exn node ~name:"prober" in
+         fwd := Some (Nsp_layer.forward_query (Commod.nsp_exn commod) (Option.get !old_addr))));
+  Cluster.settle ~dt:10_000_000 c;
+  match !fwd with
+  | Some (Ok (Some fresh)) ->
+    Alcotest.(check bool) "forwarded across names via attribute" true
+      (Addr.equal fresh (Option.get !new_addr))
+  | Some (Ok None) -> Alcotest.fail "old module reported alive"
+  | Some (Error e) -> Alcotest.failf "forward failed: %s" (Errors.to_string e)
+  | None -> Alcotest.fail "prober never ran"
+
+let test_ns_removal_with_warm_caches () =
+  (* E1: "once all necessary addresses have been resolved ... the Name
+     Server can be removed with no consequence, unless the system is
+     reconfigured." *)
+  let c = lan_cluster () in
+  Cluster.settle c;
+  spawn_echo c ~machine:"sun1" ~name:"svc";
+  Cluster.settle c;
+  let phase2 = ref None in
+  ignore
+    (Cluster.spawn c ~machine:"sun2" ~name:"client" (fun node ->
+         let commod = bind_exn node ~name:"client" in
+         let addr = check_ok "locate while NS up" (Ali_layer.locate commod "svc") in
+         ignore (check_ok "warm" (Ali_layer.send_sync commod ~dst:addr (raw "warm")));
+         (* Wait past the NS kill, then keep talking. *)
+         Ntcs_sim.Sched.sleep (Node.sched node) 4_000_000;
+         let after_kill = Ali_layer.send_sync commod ~dst:addr (raw "after-kill") in
+         let new_locate = Ali_layer.locate commod "never-resolved" in
+         phase2 := Some (after_kill, new_locate)));
+  Cluster.settle c;
+  (* Remove the name server. *)
+  Name_server.stop (Cluster.primary_ns c);
+  Cluster.crash c "vax1";
+  Cluster.settle ~dt:20_000_000 c;
+  match !phase2 with
+  | None -> Alcotest.fail "client did not finish"
+  | Some (after_kill, new_locate) ->
+    (match after_kill with
+     | Ok env -> Alcotest.(check string) "conversation survives NS removal" "echo:after-kill" (body env)
+     | Error e -> Alcotest.failf "send after NS removal failed: %s" (Errors.to_string e));
+    Alcotest.(check bool) "new resolution fails without NS" true
+      (match new_locate with Error Errors.Name_service_unavailable -> true | _ -> false)
+
+let replicated_cluster () =
+  Cluster.build
+    ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
+    ~machines:
+      [
+        ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]);
+        ("vax2", Ntcs_sim.Machine.Vax, [ "ether" ]);
+        ("sun1", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+        ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+      ]
+    ~ns:"vax1" ~ns_replicas:[ "vax2" ] ()
+
+let test_replication_propagates () =
+  let c = replicated_cluster () in
+  Cluster.settle c;
+  spawn_echo c ~machine:"sun1" ~name:"svc";
+  Cluster.settle c;
+  (* Both servers should know the registration (pushed asynchronously). *)
+  let dbs = List.map Name_server.db_size (Cluster.name_servers c) in
+  Alcotest.(check int) "two servers" 2 (List.length dbs);
+  List.iter (fun n -> Alcotest.(check bool) "entry propagated" true (n >= 2)) dbs
+
+let test_replica_failover () =
+  (* E10: primary dies; lookups keep working through the replica. *)
+  let c = replicated_cluster () in
+  Cluster.settle c;
+  spawn_echo c ~machine:"sun1" ~name:"svc";
+  Cluster.settle c;
+  let result = ref None in
+  ignore
+    (Cluster.spawn c ~machine:"sun2" ~name:"client" (fun node ->
+         let commod = bind_exn node ~name:"client" in
+         (* Outlive the primary's crash, then locate something never cached. *)
+         Ntcs_sim.Sched.sleep (Node.sched node) 4_000_000;
+         result := Some (Ali_layer.locate commod "svc")));
+  Cluster.settle c;
+  Cluster.crash c "vax1";
+  Cluster.settle ~dt:30_000_000 c;
+  match !result with
+  | None -> Alcotest.fail "client did not finish"
+  | Some r ->
+    let addr = check_ok "lookup via replica" r in
+    Alcotest.(check bool) "resolved" true (Addr.is_unique addr)
+
+let test_registration_after_primary_death () =
+  let c = replicated_cluster () in
+  Cluster.settle c;
+  Cluster.crash c "vax1";
+  Cluster.settle c;
+  (* New module registers through the replica; the UAdd carries the
+     replica's server id so it cannot collide with primary-assigned ones. *)
+  let got = ref None in
+  ignore
+    (Cluster.spawn c ~machine:"sun1" ~name:"late" (fun node ->
+         match Commod.bind node ~name:"late-svc" with
+         | Ok commod -> got := Some (Commod.my_addr commod)
+         | Error e -> Alcotest.failf "bind via replica failed: %s" (Errors.to_string e)));
+  Cluster.settle ~dt:30_000_000 c;
+  match !got with
+  | Some addr -> Alcotest.(check bool) "registered via replica" true (Addr.is_unique addr)
+  | None -> Alcotest.fail "registration did not complete"
+
+let () =
+  Alcotest.run "naming"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "newest wins" `Quick test_newest_wins_on_duplicate_name;
+          Alcotest.test_case "attribute lookup" `Quick test_attribute_lookup;
+          Alcotest.test_case "entry details" `Quick test_locate_entry_details;
+        ] );
+      ( "forwarding",
+        [
+          Alcotest.test_case "forward semantics" `Quick test_forward_query_semantics;
+          Alcotest.test_case "no replacement" `Quick test_forward_no_replacement_is_dead;
+          Alcotest.test_case "forward by service attribute" `Quick
+            test_forward_by_service_attribute;
+        ] );
+      ( "removal (E1)",
+        [ Alcotest.test_case "warm caches survive NS removal" `Quick
+            test_ns_removal_with_warm_caches ] );
+      ( "replication (E10)",
+        [
+          Alcotest.test_case "writes propagate" `Quick test_replication_propagates;
+          Alcotest.test_case "failover lookup" `Quick test_replica_failover;
+          Alcotest.test_case "register via replica" `Quick test_registration_after_primary_death;
+        ] );
+    ]

@@ -1,0 +1,344 @@
+(* Property-based tests (QCheck) on the core data structures and codecs:
+   every wire format round-trips, containers respect their invariants, and
+   the conversion machinery preserves values under arbitrary layouts. *)
+
+open Ntcs_wire
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- generators --- *)
+
+let field_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, return Layout.F_i8);
+        (2, return Layout.F_i16);
+        (3, return Layout.F_i32);
+        (2, return Layout.F_i64);
+        (2, map (fun n -> Layout.F_char_array (1 + (n mod 24))) small_nat);
+      ])
+
+let layout_gen = QCheck.Gen.(list_size (int_range 1 12) field_gen)
+
+let value_for_field rng field =
+  match field with
+  | Layout.F_i8 -> Layout.V_int (QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_range (-128) 127))
+  | Layout.F_i16 ->
+    Layout.V_int (QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_range (-32768) 32767))
+  | Layout.F_i32 ->
+    Layout.V_int
+      (QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_range (-0x40000000) 0x3FFFFFFF))
+  | Layout.F_i64 ->
+    Layout.V_int (QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_range 0 0x3FFFFFFFFFFF))
+  | Layout.F_char_array n ->
+    let len = QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_range 0 (n - 1)) in
+    let s =
+      QCheck.Gen.generate1 ~rand:rng
+        (QCheck.Gen.string_size ~gen:(QCheck.Gen.char_range 'a' 'z') (QCheck.Gen.return len))
+    in
+    Layout.V_str s
+
+let layout_with_values =
+  QCheck.make
+    ~print:(fun (layout, _) ->
+      String.concat ";" (List.map Layout.field_to_string layout))
+    QCheck.Gen.(
+      layout_gen >>= fun layout ->
+      (fun rng -> (layout, List.map (value_for_field rng) layout)))
+
+let order_gen = QCheck.Gen.oneofl [ Endian.Le; Endian.Be ]
+
+(* --- image mode --- *)
+
+let prop_image_roundtrip =
+  qtest "image encode/decode roundtrip (same order)"
+    (QCheck.pair layout_with_values (QCheck.make order_gen))
+    (fun ((layout, values), order) ->
+      let img = Layout.encode ~order layout values in
+      let back = Layout.decode ~order layout img in
+      List.for_all2 Layout.value_equal values back)
+
+let prop_image_size =
+  qtest "image size equals layout size"
+    (QCheck.pair layout_with_values (QCheck.make order_gen))
+    (fun ((layout, values), order) ->
+      Bytes.length (Layout.encode ~order layout values) = Layout.size layout)
+
+(* --- packed mode --- *)
+
+let prop_packed_roundtrip =
+  qtest "packed codec generated from layout roundtrips" layout_with_values
+    (fun (layout, values) ->
+      let codec = Packed.of_layout layout in
+      let back = Packed.run_unpack codec (Packed.run_pack codec values) in
+      List.for_all2 Layout.value_equal values back)
+
+let prop_packed_primitive_roundtrips =
+  qtest "packed primitive combinators roundtrip"
+    QCheck.(triple (list small_int) (pair string bool) (option (pair int string)))
+    (fun v ->
+      let codec =
+        Packed.triple (Packed.list Packed.int)
+          (Packed.pair Packed.string Packed.bool)
+          (Packed.option (Packed.pair Packed.int Packed.string))
+      in
+      Packed.run_unpack codec (Packed.run_pack codec v) = v)
+
+let prop_packed_float_exact =
+  qtest "packed float is exact" QCheck.float (fun f ->
+      let back = Packed.run_unpack Packed.float (Packed.run_pack Packed.float f) in
+      (Float.is_nan f && Float.is_nan back) || back = f)
+
+let prop_packed_garbage_never_crashes =
+  qtest "unpacking random bytes returns Error, never raises"
+    QCheck.(pair string (make layout_gen))
+    (fun (junk, layout) ->
+      let codec = Packed.of_layout layout in
+      match Packed.run_unpack_result codec (Bytes.of_string junk) with
+      | Ok _ | Error _ -> true)
+
+(* --- shift mode --- *)
+
+let word_gen = QCheck.(map (fun n -> n land 0xFFFFFFFF) (int_bound max_int))
+
+let prop_shift_roundtrip =
+  qtest "shift words roundtrip" QCheck.(array_of_size (QCheck.Gen.int_range 0 32) word_gen)
+    (fun words ->
+      let b = Shift.encode_words words in
+      Shift.decode_words b ~off:0 ~count:(Array.length words) = words)
+
+let prop_bitfields_roundtrip =
+  qtest "bit fields roundtrip"
+    QCheck.(quad (int_bound 255) (int_bound 15) (int_bound 4095) (int_bound 255))
+    (fun (a, b, c, d) ->
+      let word = Shift.pack_bits [ (a, 8); (b, 4); (c, 12); (d, 8) ] in
+      Shift.unpack_bits word [ 8; 4; 12; 8 ] = [ a; b; c; d ])
+
+(* --- addressing + header --- *)
+
+let addr_gen =
+  QCheck.Gen.(
+    bool >>= fun temp ->
+    int_range 0 0x3FFFFFFF >>= fun space ->
+    map
+      (fun v ->
+        if temp then Ntcs.Addr.temporary ~assigner:space ~value:v
+        else Ntcs.Addr.unique ~server_id:space ~value:v)
+      (int_range 0 0xFFFFFFF))
+
+let prop_addr_roundtrip =
+  qtest "address words roundtrip" (QCheck.make addr_gen) (fun a ->
+      let w = Ntcs.Addr.to_words a in
+      Ntcs.Addr.equal a (Ntcs.Addr.of_words w.(0) w.(1)))
+
+let header_gen =
+  QCheck.Gen.(
+    addr_gen >>= fun src ->
+    addr_gen >>= fun dst ->
+    oneofl
+      [ Ntcs.Proto.Data; Ntcs.Proto.Dgram; Ntcs.Proto.Reply; Ntcs.Proto.Ping; Ntcs.Proto.Pong ]
+    >>= fun kind ->
+    order_gen >>= fun order ->
+    int_range 0 255 >>= fun hops ->
+    int_range 0 0xFFFFFF >>= fun seq ->
+    int_range 0 0xFFFFFF >>= fun conv ->
+    int_range 0 8999 >>= fun app_tag ->
+    map
+      (fun ivc ->
+        Ntcs.Proto.make_header ~kind ~src ~dst ~src_order:order ~hops ~seq ~conv ~app_tag ~ivc
+          ~payload_len:0 ())
+      (int_range 0 0xFFFFFF))
+
+let prop_header_roundtrip =
+  qtest "nucleus header roundtrips through shift mode"
+    (QCheck.pair (QCheck.make header_gen) QCheck.string)
+    (fun (h, payload) ->
+      let payload = Bytes.of_string payload in
+      let h', payload' = Ntcs.Proto.decode_frame (Ntcs.Proto.encode_frame h payload) in
+      Ntcs.Addr.equal h.Ntcs.Proto.src h'.Ntcs.Proto.src
+      && Ntcs.Addr.equal h.Ntcs.Proto.dst h'.Ntcs.Proto.dst
+      && h.Ntcs.Proto.kind = h'.Ntcs.Proto.kind
+      && h.Ntcs.Proto.src_order = h'.Ntcs.Proto.src_order
+      && h.Ntcs.Proto.hops = h'.Ntcs.Proto.hops
+      && h.Ntcs.Proto.seq = h'.Ntcs.Proto.seq
+      && h.Ntcs.Proto.conv = h'.Ntcs.Proto.conv
+      && h.Ntcs.Proto.app_tag = h'.Ntcs.Proto.app_tag
+      && h.Ntcs.Proto.ivc = h'.Ntcs.Proto.ivc
+      && Bytes.equal payload payload')
+
+(* --- containers --- *)
+
+let prop_heap_sorts =
+  qtest "heap drains sorted" QCheck.(list int) (fun l ->
+      let h = Ntcs_util.Heap.create ~leq:(fun a b -> a <= b) in
+      List.iter (Ntcs_util.Heap.push h) l;
+      Ntcs_util.Heap.to_list h = List.sort compare l)
+
+let prop_lru_capacity =
+  qtest "lru never exceeds capacity" QCheck.(pair (int_range 1 16) (list (pair small_int small_int)))
+    (fun (cap, ops) ->
+      let c = Ntcs_util.Lru.create cap in
+      List.iter (fun (k, v) -> Ntcs_util.Lru.set c k v) ops;
+      Ntcs_util.Lru.length c <= cap)
+
+let prop_lru_last_write_wins =
+  qtest "lru find returns last write" QCheck.(list (pair (int_bound 7) small_int))
+    (fun ops ->
+      let c = Ntcs_util.Lru.create 100 (* larger than key space: no evictions *) in
+      List.iter (fun (k, v) -> Ntcs_util.Lru.set c k v) ops;
+      List.for_all
+        (fun (k, _) ->
+          let expected = List.assoc k (List.rev ops) in
+          Ntcs_util.Lru.find c k = Some expected)
+        ops)
+
+let prop_bqueue_fifo =
+  qtest "bqueue preserves order of accepted items" QCheck.(pair (int_range 1 8) (list small_int))
+    (fun (cap, items) ->
+      let q = Ntcs_util.Bqueue.create cap in
+      let accepted = List.filter (fun x -> Ntcs_util.Bqueue.push q x) items in
+      let rec drain acc =
+        match Ntcs_util.Bqueue.pop q with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = accepted)
+
+let prop_stats_bounds =
+  qtest "percentiles lie within min/max" QCheck.(list_of_size (QCheck.Gen.int_range 1 50) float)
+    (fun xs ->
+      if List.exists Float.is_nan xs then true
+      else begin
+        let s = Ntcs_util.Stats.create () in
+        List.iter (Ntcs_util.Stats.add s) xs;
+        let lo = Ntcs_util.Stats.min_ s and hi = Ntcs_util.Stats.max_ s in
+        List.for_all
+          (fun p ->
+            let v = Ntcs_util.Stats.percentile s p in
+            v >= lo -. 1e-9 && v <= hi +. 1e-9)
+          [ 0.; 10.; 50.; 90.; 99.; 100. ]
+      end)
+
+(* --- tokenizer / corpus --- *)
+
+let prop_tokenizer_idempotent_text =
+  qtest "tokens of rejoined tokens are stable" QCheck.(string_of_size (QCheck.Gen.int_range 0 80))
+    (fun s ->
+      let once = Ursa.Tokenizer.tokens s in
+      let again = Ursa.Tokenizer.tokens (String.concat " " once) in
+      once = again)
+
+let prop_corpus_partition_preserves =
+  qtest "corpus partition loses nothing" QCheck.(pair (int_range 1 7) (int_range 0 60))
+    (fun (k, n) ->
+      let docs = Ursa.Corpus.generate n in
+      let parts = Ursa.Corpus.partition k docs in
+      List.length parts = k
+      && List.sort compare (List.concat_map (List.map (fun d -> d.Ursa.Corpus.d_id)) parts)
+         = List.init n Fun.id)
+
+let prop_distributed_search_equals_local =
+  qtest ~count:60 "partitioned search merge equals single-index reference"
+    QCheck.(triple (int_range 1 5) (int_range 1 40) small_int)
+    (fun (parts, ndocs, qseed) ->
+      let docs = Ursa.Corpus.generate ~seed:(qseed + 3) ndocs in
+      let query_terms =
+        let _, vocab = Ursa.Corpus.topics.(qseed mod Array.length Ursa.Corpus.topics) in
+        [ vocab.(0); vocab.(1 mod Array.length vocab) ]
+      in
+      (* Distributed: per-partition indexes queried + merged. *)
+      let replies =
+        List.map
+          (fun part ->
+            let idx = Ursa.Index.of_docs part in
+            {
+              Ursa.Ursa_msg.ir_doc_count = Ursa.Index.doc_count idx;
+              ir_results =
+                List.map
+                  (fun term ->
+                    let postings = Ursa.Index.postings idx term in
+                    {
+                      Ursa.Ursa_msg.tp_term = term;
+                      tp_df = List.length postings;
+                      tp_postings =
+                        List.map (fun p -> (p.Ursa.Index.p_doc, p.Ursa.Index.p_tf)) postings;
+                    })
+                  query_terms;
+            })
+          (Ursa.Corpus.partition parts docs)
+      in
+      let merged = Ursa.Servers.merge_scores replies in
+      (* Reference: one index over everything. *)
+      let idx = Ursa.Index.of_docs docs in
+      let n_docs = Ursa.Index.doc_count idx in
+      let scores = Hashtbl.create 16 in
+      List.iter
+        (fun term ->
+          let postings = Ursa.Index.postings idx term in
+          let df = List.length postings in
+          List.iter
+            (fun p ->
+              let add = Ursa.Index.tf_idf ~tf:p.Ursa.Index.p_tf ~df ~n_docs in
+              let cur =
+                match Hashtbl.find_opt scores p.Ursa.Index.p_doc with Some x -> x | None -> 0.
+              in
+              Hashtbl.replace scores p.Ursa.Index.p_doc (cur +. add))
+            postings)
+        query_terms;
+      let reference =
+        Hashtbl.fold (fun d x acc -> (d, x) :: acc) scores []
+        |> List.sort (fun (d1, x1) (d2, x2) ->
+               match compare x2 x1 with 0 -> compare d1 d2 | c -> c)
+      in
+      List.map fst merged = List.map fst reference
+      && List.for_all2 (fun (_, a) (_, b) -> Float.abs (a -. b) < 1e-9) merged reference)
+
+let prop_phys_addr_roundtrip =
+  qtest "physical addresses roundtrip their string form"
+    QCheck.(pair (pair string small_int) bool)
+    (fun ((name, port), is_tcp) ->
+      let clean =
+        String.map (fun c -> if c = '\n' || c = ':' || c = '/' || c = '\x00' then '_' else c)
+          name
+      in
+      let clean = if clean = "" then "h" else clean in
+      let a =
+        if is_tcp then Ntcs_ipcs.Phys_addr.tcp ~host:clean ~port:(port + 1)
+        else Ntcs_ipcs.Phys_addr.mbx ~path:("//" ^ clean ^ "/mbx/x")
+      in
+      match Ntcs_ipcs.Phys_addr.of_string (Ntcs_ipcs.Phys_addr.to_string a) with
+      | Some b -> Ntcs_ipcs.Phys_addr.equal a b
+      | None -> false)
+
+let prop_rng_int_bounds =
+  qtest "rng int respects bounds" QCheck.(pair (int_range 1 1000) small_int)
+    (fun (bound, seed) ->
+      let r = Ntcs_util.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Ntcs_util.Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("image", [ prop_image_roundtrip; prop_image_size ]);
+      ( "packed",
+        [
+          prop_packed_roundtrip;
+          prop_packed_primitive_roundtrips;
+          prop_packed_float_exact;
+          prop_packed_garbage_never_crashes;
+        ] );
+      ("shift", [ prop_shift_roundtrip; prop_bitfields_roundtrip ]);
+      ("protocol", [ prop_addr_roundtrip; prop_header_roundtrip ]);
+      ( "containers",
+        [ prop_heap_sorts; prop_lru_capacity; prop_lru_last_write_wins; prop_bqueue_fifo;
+          prop_stats_bounds ] );
+      ( "application",
+        [ prop_tokenizer_idempotent_text; prop_corpus_partition_preserves;
+          prop_distributed_search_equals_local; prop_phys_addr_roundtrip; prop_rng_int_bounds ]
+      );
+    ]

@@ -1,0 +1,207 @@
+(* Tests for NTCS addressing (UAdds/TAdds) and the nucleus wire protocol. *)
+
+open Ntcs
+open Ntcs_wire
+
+let addr = Alcotest.testable Addr.pp Addr.equal
+
+let test_addr_words_roundtrip () =
+  let cases =
+    [
+      Addr.unique ~server_id:0 ~value:0;
+      Addr.unique ~server_id:3 ~value:12345;
+      Addr.unique ~server_id:0x3FFFFFFF ~value:0xFFFFFFFF;
+      Addr.temporary ~assigner:1 ~value:1;
+      Addr.temporary ~assigner:0x3FFFFFFF ~value:77;
+    ]
+  in
+  List.iter
+    (fun a ->
+      let w = Addr.to_words a in
+      Alcotest.check addr "roundtrip" a (Addr.of_words w.(0) w.(1)))
+    cases
+
+let test_addr_kinds () =
+  Alcotest.(check bool) "unique" true (Addr.is_unique (Addr.unique ~server_id:1 ~value:2));
+  Alcotest.(check bool) "temp" true (Addr.is_temporary (Addr.temporary ~assigner:1 ~value:2));
+  Alcotest.(check string) "unique str" "U1.2" (Addr.to_string (Addr.unique ~server_id:1 ~value:2));
+  Alcotest.(check string) "temp str" "T1.2"
+    (Addr.to_string (Addr.temporary ~assigner:1 ~value:2));
+  Alcotest.check_raises "server id range" (Invalid_argument "Addr.unique: bad server id")
+    (fun () -> ignore (Addr.unique ~server_id:(-1) ~value:0))
+
+let test_tadd_gen_unique () =
+  let g = Addr.Tadd_gen.create ~assigner:9 in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 100 do
+    let a = Addr.Tadd_gen.fresh g in
+    Alcotest.(check bool) "temporary" true (Addr.is_temporary a);
+    Alcotest.(check bool) "locally unique" false (Hashtbl.mem seen a);
+    Hashtbl.replace seen a ()
+  done
+
+let test_header_roundtrip () =
+  let h =
+    Proto.make_header ~kind:Proto.Data
+      ~src:(Addr.unique ~server_id:1 ~value:10)
+      ~dst:(Addr.temporary ~assigner:44 ~value:3)
+      ~mode:Convert.Image ~src_order:Endian.Le ~hops:3 ~seq:99 ~conv:7 ~app_tag:1234 ~ivc:55
+      ~payload_len:0 ()
+  in
+  let payload = Bytes.of_string "abcdef" in
+  let frame = Proto.encode_frame h payload in
+  let h', payload' = Proto.decode_frame frame in
+  Alcotest.(check string) "payload" "abcdef" (Bytes.to_string payload');
+  Alcotest.check addr "src" h.Proto.src h'.Proto.src;
+  Alcotest.check addr "dst" h.Proto.dst h'.Proto.dst;
+  Alcotest.(check bool) "kind" true (h'.Proto.kind = Proto.Data);
+  Alcotest.(check bool) "mode" true (h'.Proto.mode = Convert.Image);
+  Alcotest.(check bool) "order" true (h'.Proto.src_order = Endian.Le);
+  Alcotest.(check int) "hops" 3 h'.Proto.hops;
+  Alcotest.(check int) "seq" 99 h'.Proto.seq;
+  Alcotest.(check int) "conv" 7 h'.Proto.conv;
+  Alcotest.(check int) "app_tag" 1234 h'.Proto.app_tag;
+  Alcotest.(check int) "ivc" 55 h'.Proto.ivc;
+  Alcotest.(check int) "payload_len" 6 h'.Proto.payload_len
+
+let test_all_kinds_roundtrip () =
+  List.iter
+    (fun kind ->
+      let h =
+        Proto.make_header ~kind
+          ~src:(Addr.unique ~server_id:0 ~value:1)
+          ~dst:(Addr.unique ~server_id:0 ~value:2)
+          ~payload_len:0 ()
+      in
+      let h', _ = Proto.decode_frame (Proto.encode_frame h Bytes.empty) in
+      Alcotest.(check string) "kind" (Proto.kind_to_string kind)
+        (Proto.kind_to_string h'.Proto.kind))
+    [ Proto.Data; Proto.Dgram; Proto.Reply; Proto.Hello; Proto.Hello_ack; Proto.Ivc_open;
+      Proto.Ivc_accept; Proto.Ivc_reject; Proto.Ivc_close; Proto.Ping; Proto.Pong ]
+
+let test_header_rejects_garbage () =
+  Alcotest.(check bool) "short" true
+    (match Proto.decode_header (Bytes.create 4) with
+     | exception Proto.Bad_header _ -> true
+     | _ -> false);
+  let h =
+    Proto.make_header ~kind:Proto.Data
+      ~src:(Addr.unique ~server_id:0 ~value:1)
+      ~dst:(Addr.unique ~server_id:0 ~value:2)
+      ~payload_len:0 ()
+  in
+  let frame = Proto.encode_frame h (Bytes.of_string "xy") in
+  (* Corrupt the magic. *)
+  Bytes.set frame 0 '\xFF';
+  Alcotest.(check bool) "bad magic" true
+    (match Proto.decode_frame frame with exception Proto.Bad_header _ -> true | _ -> false);
+  (* Length mismatch. *)
+  let frame = Proto.encode_frame h (Bytes.of_string "xy") in
+  Alcotest.(check bool) "length mismatch" true
+    (match Proto.decode_frame (Bytes.sub frame 0 (Bytes.length frame - 1)) with
+     | exception Proto.Bad_header _ -> true
+     | _ -> false)
+
+let test_hello_codec () =
+  let hello =
+    {
+      Proto.h_addr = Addr.temporary ~assigner:12 ~value:1;
+      h_order = Endian.Be;
+      h_listen = [ "tcp://vax1:4000"; "mbx://x/y" ];
+    }
+  in
+  let b = Packed.run_pack Proto.hello_codec hello in
+  let back = Packed.run_unpack Proto.hello_codec b in
+  Alcotest.check addr "addr" hello.Proto.h_addr back.Proto.h_addr;
+  Alcotest.(check bool) "order" true (back.Proto.h_order = Endian.Be);
+  Alcotest.(check (list string)) "listen" hello.Proto.h_listen back.Proto.h_listen
+
+let test_ivc_open_codec () =
+  let v =
+    {
+      Proto.route = [ Addr.unique ~server_id:900 ~value:2; Addr.unique ~server_id:901 ~value:3 ];
+      final_dst = Addr.unique ~server_id:0 ~value:9;
+      origin_hello =
+        { Proto.h_addr = Addr.unique ~server_id:0 ~value:4; h_order = Endian.Le; h_listen = [] };
+    }
+  in
+  let back = Packed.run_unpack Proto.ivc_open_codec (Packed.run_pack Proto.ivc_open_codec v) in
+  Alcotest.(check int) "route length" 2 (List.length back.Proto.route);
+  Alcotest.check addr "final" v.Proto.final_dst back.Proto.final_dst;
+  Alcotest.check addr "origin" v.Proto.origin_hello.Proto.h_addr
+    back.Proto.origin_hello.Proto.h_addr
+
+let test_ns_proto_roundtrips () =
+  let reqs =
+    [
+      Ns_proto.Register
+        { r_name = "m"; r_phys = [ "tcp://h:1" ]; r_nets = [ 1; 2 ]; r_order = 1;
+          r_attrs = [ ("service", "x") ] };
+      Ns_proto.Lookup "m";
+      Ns_proto.Lookup_attrs [ ("a", "b") ];
+      Ns_proto.Resolve (Addr.unique ~server_id:0 ~value:5);
+      Ns_proto.Forward (Addr.unique ~server_id:0 ~value:5);
+      Ns_proto.Deregister (Addr.unique ~server_id:0 ~value:5);
+      Ns_proto.List_gateways;
+      Ns_proto.Sync_pull 17;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Ns_proto.unpack_request (Ns_proto.pack_request r) with
+      | Ok r' -> Alcotest.(check bool) "request roundtrip" true (r = r')
+      | Error m -> Alcotest.fail m)
+    reqs;
+  let entry =
+    {
+      Ns_proto.e_name = "m";
+      e_addr = Addr.unique ~server_id:1 ~value:9;
+      e_phys = [ "tcp://h:1" ];
+      e_nets = [ 3 ];
+      e_order = 0;
+      e_attrs = [ ("k", "v") ];
+      e_alive = true;
+    }
+  in
+  let resps =
+    [
+      Ns_proto.R_registered entry.Ns_proto.e_addr;
+      Ns_proto.R_addr entry.Ns_proto.e_addr;
+      Ns_proto.R_entry entry;
+      Ns_proto.R_entries [ entry; entry ];
+      Ns_proto.R_forward (Some entry.Ns_proto.e_addr);
+      Ns_proto.R_forward None;
+      Ns_proto.R_ok;
+      Ns_proto.R_sync [ (12, entry) ];
+      Ns_proto.R_error "unknown-name";
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Ns_proto.unpack_response (Ns_proto.pack_response r) with
+      | Ok r' -> Alcotest.(check bool) "response roundtrip" true (r = r')
+      | Error m -> Alcotest.fail m)
+    resps
+
+let () =
+  Alcotest.run "ntcs_proto"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "words roundtrip" `Quick test_addr_words_roundtrip;
+          Alcotest.test_case "kinds" `Quick test_addr_kinds;
+          Alcotest.test_case "tadd generator" `Quick test_tadd_gen_unique;
+        ] );
+      ( "header",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_header_roundtrip;
+          Alcotest.test_case "all kinds" `Quick test_all_kinds_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_header_rejects_garbage;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "hello codec" `Quick test_hello_codec;
+          Alcotest.test_case "ivc open codec" `Quick test_ivc_open_codec;
+          Alcotest.test_case "ns proto roundtrips" `Quick test_ns_proto_roundtrips;
+        ] );
+    ]

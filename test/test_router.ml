@@ -1,0 +1,127 @@
+(* Unit tests of route planning (§4.2) over synthetic topologies — no
+   simulation, pure graph logic. *)
+
+open Ntcs
+open Ntcs_ipcs
+
+let addr i = Addr.unique ~server_id:800 ~value:i
+
+let edge ~a ~in_ ~spans =
+  {
+    Router.ge_addr = addr a;
+    ge_phys = [ Phys_addr.tcp ~host:"h" ~port:(4000 + a) ];
+    ge_in = in_;
+    ge_spans = spans;
+  }
+
+let hops paths = List.map (List.map (fun e -> e.Router.ge_addr)) paths
+
+let test_direct_reachability_no_route () =
+  (* Target net reachable without any gateway: routes from/to same net is
+     not this function's business (plan handles it); disjoint nets with no
+     edges yield nothing. *)
+  Alcotest.(check int) "no edges, no route" 0
+    (List.length (Router.routes ~edges:[] ~from_nets:[ 1 ] ~to_nets:[ 2 ]))
+
+let test_single_hop () =
+  let e = edge ~a:1 ~in_:1 ~spans:[ 1; 2 ] in
+  let paths = Router.routes ~edges:[ e ] ~from_nets:[ 1 ] ~to_nets:[ 2 ] in
+  Alcotest.(check bool) "one path through the bridge" true (hops paths = [ [ addr 1 ] ])
+
+let test_two_hops_shortest () =
+  (* 1 -(A)- 2 -(B)- 3, plus a direct bridge 1-3 (C): shortest first. *)
+  let a = edge ~a:1 ~in_:1 ~spans:[ 1; 2 ] in
+  let a' = edge ~a:2 ~in_:2 ~spans:[ 1; 2 ] in
+  let b = edge ~a:3 ~in_:2 ~spans:[ 2; 3 ] in
+  let b' = edge ~a:4 ~in_:3 ~spans:[ 2; 3 ] in
+  let c = edge ~a:5 ~in_:1 ~spans:[ 1; 3 ] in
+  let paths = Router.routes ~edges:[ a; a'; b; b'; c ] ~from_nets:[ 1 ] ~to_nets:[ 3 ] in
+  (match hops paths with
+   | first :: _ -> Alcotest.(check bool) "direct bridge wins" true (first = [ addr 5 ])
+   | [] -> Alcotest.fail "no routes");
+  Alcotest.(check bool) "two-hop alternative also found" true
+    (List.mem [ addr 1; addr 3 ] (hops paths))
+
+let test_one_route_per_first_hop () =
+  (* Two parallel bridges between the same nets: one route each. *)
+  let g1 = edge ~a:1 ~in_:1 ~spans:[ 1; 2 ] in
+  let g2 = edge ~a:2 ~in_:1 ~spans:[ 1; 2 ] in
+  let paths = Router.routes ~edges:[ g1; g2 ] ~from_nets:[ 1 ] ~to_nets:[ 2 ] in
+  Alcotest.(check int) "two alternatives" 2 (List.length paths);
+  Alcotest.(check bool) "distinct first hops" true
+    (List.sort_uniq compare (List.map List.hd (hops paths)) |> List.length = 2)
+
+let test_no_loops () =
+  (* A cycle of nets: BFS must terminate and find the 2-hop path. *)
+  let ab = edge ~a:1 ~in_:1 ~spans:[ 1; 2 ] in
+  let ba = edge ~a:2 ~in_:2 ~spans:[ 1; 2 ] in
+  let bc = edge ~a:3 ~in_:2 ~spans:[ 2; 3 ] in
+  let cb = edge ~a:4 ~in_:3 ~spans:[ 2; 3 ] in
+  let ca = edge ~a:5 ~in_:3 ~spans:[ 3; 1 ] in
+  let ac = edge ~a:6 ~in_:1 ~spans:[ 3; 1 ] in
+  let paths =
+    Router.routes ~edges:[ ab; ba; bc; cb; ca; ac ] ~from_nets:[ 1 ] ~to_nets:[ 3 ]
+  in
+  Alcotest.(check bool) "found" true (paths <> []);
+  List.iter
+    (fun p -> Alcotest.(check bool) "path is short" true (List.length p <= 2))
+    paths
+
+let test_multihomed_gateway () =
+  (* One gateway spanning three nets bridges any pair in one hop. *)
+  let g = edge ~a:9 ~in_:1 ~spans:[ 1; 2; 3 ] in
+  let paths = Router.routes ~edges:[ g ] ~from_nets:[ 1 ] ~to_nets:[ 3 ] in
+  Alcotest.(check bool) "one hop" true (hops paths = [ [ addr 9 ] ])
+
+let test_edge_of_entry_parsing () =
+  let entry =
+    {
+      Ns_proto.e_name = "gw/x@2";
+      e_addr = addr 7;
+      e_phys = [ "tcp://mid:4501"; "garbage" ];
+      e_nets = [ 2 ];
+      e_order = 1;
+      e_attrs =
+        [ (Router.attr_gateway, "yes"); (Router.attr_net, "2"); (Router.attr_spans, "1, 2") ];
+      e_alive = true;
+    }
+  in
+  match Router.edge_of_entry entry with
+  | None -> Alcotest.fail "should parse"
+  | Some e ->
+    Alcotest.(check int) "ingress" 2 e.Router.ge_in;
+    Alcotest.(check (list int)) "spans" [ 1; 2 ] e.Router.ge_spans;
+    Alcotest.(check int) "phys parsed, garbage dropped" 1 (List.length e.Router.ge_phys)
+
+let test_edge_of_entry_rejects_non_gateways () =
+  let entry =
+    {
+      Ns_proto.e_name = "app";
+      e_addr = addr 8;
+      e_phys = [];
+      e_nets = [ 1 ];
+      e_order = 0;
+      e_attrs = [];
+      e_alive = true;
+    }
+  in
+  Alcotest.(check bool) "no attrs, no edge" true (Router.edge_of_entry entry = None)
+
+let () =
+  Alcotest.run "router"
+    [
+      ( "routes",
+        [
+          Alcotest.test_case "no edges" `Quick test_direct_reachability_no_route;
+          Alcotest.test_case "single hop" `Quick test_single_hop;
+          Alcotest.test_case "shortest first, alternatives kept" `Quick test_two_hops_shortest;
+          Alcotest.test_case "one route per first hop" `Quick test_one_route_per_first_hop;
+          Alcotest.test_case "cycles terminate" `Quick test_no_loops;
+          Alcotest.test_case "multihomed gateway" `Quick test_multihomed_gateway;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "entry parsing" `Quick test_edge_of_entry_parsing;
+          Alcotest.test_case "non-gateway rejected" `Quick test_edge_of_entry_rejects_non_gateways;
+        ] );
+    ]

@@ -1,0 +1,336 @@
+(* Tests for the discrete-event simulator: scheduler semantics, blocking
+   primitives, kill/cleanup, determinism, machines and networks. *)
+
+open Ntcs_sim
+
+let test_virtual_time_ordering () =
+  let s = Sched.create () in
+  let log = ref [] in
+  Sched.at s 300 (fun () -> log := 3 :: !log);
+  Sched.at s 100 (fun () -> log := 1 :: !log);
+  Sched.at s 200 (fun () -> log := 2 :: !log);
+  Sched.run s;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 300 (Sched.now s)
+
+let test_same_time_fifo () =
+  let s = Sched.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sched.at s 50 (fun () -> log := i :: !log)
+  done;
+  Sched.run s;
+  Alcotest.(check (list int)) "seq order at same time" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sleep_accumulates () =
+  let s = Sched.create () in
+  let times = ref [] in
+  let _ =
+    Sched.spawn s (fun () ->
+        Sched.sleep s 10;
+        times := Sched.now s :: !times;
+        Sched.sleep s 15;
+        times := Sched.now s :: !times)
+  in
+  Sched.run s;
+  Alcotest.(check (list int)) "sleep times" [ 10; 25 ] (List.rev !times)
+
+let test_run_until () =
+  let s = Sched.create () in
+  let fired = ref false in
+  Sched.at s 1000 (fun () -> fired := true);
+  Sched.run ~until:500 s;
+  Alcotest.(check bool) "not yet" false !fired;
+  Alcotest.(check int) "clock advanced to until" 500 (Sched.now s);
+  Sched.run s;
+  Alcotest.(check bool) "eventually" true !fired
+
+let test_kill_runs_finalizers () =
+  let s = Sched.create () in
+  let cleaned = ref false in
+  let victim =
+    Sched.spawn s (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () -> Sched.sleep s 1_000_000))
+  in
+  let _ =
+    Sched.spawn s (fun () ->
+        Sched.sleep s 10;
+        Sched.kill s victim)
+  in
+  Sched.run s;
+  Alcotest.(check bool) "finalizer ran" true !cleaned;
+  Alcotest.(check bool) "status killed" true (Sched.status s victim = Some Sched.Was_killed);
+  Alcotest.(check bool) "not alive" false (Sched.alive s victim)
+
+let test_kill_embryo () =
+  let s = Sched.create () in
+  let ran = ref false in
+  let victim = Sched.spawn ~at_time:100 s (fun () -> ran := true) in
+  Sched.at s 10 (fun () -> Sched.kill s victim);
+  Sched.run s;
+  Alcotest.(check bool) "body never ran" false !ran;
+  Alcotest.(check bool) "killed" true (Sched.status s victim = Some Sched.Was_killed)
+
+let test_exit_status_and_hooks () =
+  let s = Sched.create () in
+  let statuses = ref [] in
+  let ok = Sched.spawn s (fun () -> ()) in
+  let boom = Sched.spawn s (fun () -> failwith "boom") in
+  Sched.on_exit s ok (fun st -> statuses := ("ok", st) :: !statuses);
+  Sched.on_exit s boom (fun st -> statuses := ("boom", st) :: !statuses);
+  Sched.run s;
+  let find name = List.assoc name !statuses in
+  Alcotest.(check bool) "exited" true (find "ok" = Sched.Exited);
+  Alcotest.(check bool) "crashed" true
+    (match find "boom" with
+     | Sched.Crashed (Failure m) -> String.equal m "boom"
+     | Sched.Crashed _ | Sched.Exited | Sched.Was_killed -> false)
+
+let test_on_exit_after_death_fires_immediately () =
+  let s = Sched.create () in
+  let p = Sched.spawn s (fun () -> ()) in
+  Sched.run s;
+  let fired = ref false in
+  Sched.on_exit s p (fun _ -> fired := true);
+  Alcotest.(check bool) "late hook fires" true !fired
+
+let test_mailbox_order_and_timeout () =
+  let s = Sched.create () in
+  let mb = Sched.Mailbox.create s in
+  let got = ref [] in
+  let _ =
+    Sched.spawn s (fun () ->
+        (match Sched.Mailbox.recv mb with Some v -> got := v :: !got | None -> ());
+        (match Sched.Mailbox.recv mb with Some v -> got := v :: !got | None -> ());
+        match Sched.Mailbox.recv ~timeout:100 mb with
+        | Some v -> got := v :: !got
+        | None -> got := "timeout" :: !got)
+  in
+  let _ =
+    Sched.spawn s (fun () ->
+        Sched.sleep s 10;
+        Sched.Mailbox.send mb "a";
+        Sched.Mailbox.send mb "b")
+  in
+  Sched.run s;
+  Alcotest.(check (list string)) "fifo then timeout" [ "a"; "b"; "timeout" ] (List.rev !got)
+
+let test_mailbox_timeout_then_late_message () =
+  let s = Sched.create () in
+  let mb = Sched.Mailbox.create s in
+  let got = ref [] in
+  let _ =
+    Sched.spawn s (fun () ->
+        (match Sched.Mailbox.recv ~timeout:50 mb with
+         | Some v -> got := v :: !got
+         | None -> got := "t1" :: !got);
+        match Sched.Mailbox.recv ~timeout:500 mb with
+        | Some v -> got := v :: !got
+        | None -> got := "t2" :: !got)
+  in
+  let _ =
+    Sched.spawn s (fun () ->
+        Sched.sleep s 200;
+        Sched.Mailbox.send mb "late")
+  in
+  Sched.run s;
+  Alcotest.(check (list string)) "timeout then delivery" [ "t1"; "late" ] (List.rev !got)
+
+let test_ivar () =
+  let s = Sched.create () in
+  let iv = Sched.Ivar.create s in
+  let results = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Sched.spawn s (fun () ->
+           match Sched.Ivar.read iv with
+           | Some v -> results := (i, v) :: !results
+           | None -> ()))
+  done;
+  let _ =
+    Sched.spawn s (fun () ->
+        Sched.sleep s 20;
+        Sched.Ivar.fill iv 42)
+  in
+  Sched.run s;
+  Alcotest.(check int) "all readers woke" 3 (List.length !results);
+  List.iter (fun (_, v) -> Alcotest.(check int) "value" 42 v) !results;
+  Alcotest.(check bool) "double fill refused" false (Sched.Ivar.try_fill iv 1);
+  Alcotest.check_raises "fill raises" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Sched.Ivar.fill iv 2)
+
+let test_ivar_timeout () =
+  let s = Sched.create () in
+  let iv = Sched.Ivar.create s in
+  let out = ref (Some 0) in
+  let _ = Sched.spawn s (fun () -> out := Sched.Ivar.read ~timeout:100 iv) in
+  Sched.run s;
+  Alcotest.(check (option int)) "timed out" None !out
+
+let test_event_limit () =
+  let s = Sched.create () in
+  Sched.set_event_limit s 10;
+  let rec renew () = Sched.after s 1 renew in
+  renew ();
+  Alcotest.check_raises "limit" Sched.Event_limit_exceeded (fun () -> Sched.run s)
+
+let test_blocked_processes_diagnostic () =
+  let s = Sched.create () in
+  let mb = Sched.Mailbox.create s in
+  let _ =
+    Sched.spawn ~name:"server-loop" s (fun () ->
+        ignore (Sched.Mailbox.recv mb))
+  in
+  let _ = Sched.spawn ~name:"finisher" s (fun () -> Sched.sleep s 10) in
+  Sched.run s;
+  Alcotest.(check (list string)) "only the blocked loop reported" [ "server-loop" ]
+    (Sched.blocked_processes s)
+
+let test_determinism_across_runs () =
+  let run () =
+    let w = World.create ~seed:99 () in
+    let net = World.add_net w ~name:"n" Ntcs_sim.Net.Tcp_lan () in
+    let m1 = World.add_machine w ~name:"m1" Ntcs_sim.Machine.Vax () in
+    let m2 = World.add_machine w ~name:"m2" Ntcs_sim.Machine.Sun3 () in
+    World.attach w m1 net;
+    World.attach w m2 net;
+    let log = ref [] in
+    for i = 1 to 20 do
+      ignore
+        (World.transmit w ~net ~src:m1 ~dst:m2 ~size:(i * 100) (fun () ->
+             log := (i, World.now w) :: !log))
+    done;
+    World.run w;
+    List.rev !log
+  in
+  Alcotest.(check (list (pair int int))) "identical runs" (run ()) (run ())
+
+let test_fifo_transmit () =
+  let w = World.create ~seed:123 () in
+  let net = World.add_net w ~name:"n" Ntcs_sim.Net.Tcp_lan () in
+  let m1 = World.add_machine w ~name:"m1" Ntcs_sim.Machine.Vax () in
+  let m2 = World.add_machine w ~name:"m2" Ntcs_sim.Machine.Sun3 () in
+  World.attach w m1 net;
+  World.attach w m2 net;
+  let fifo = ref 0 in
+  let arrivals = ref [] in
+  for i = 1 to 50 do
+    ignore
+      (World.transmit ~fifo w ~net ~src:m1 ~dst:m2 ~size:64 (fun () ->
+           arrivals := i :: !arrivals))
+  done;
+  World.run w;
+  Alcotest.(check (list int)) "in order" (List.init 50 (fun i -> i + 1)) (List.rev !arrivals)
+
+let test_partition_and_crash () =
+  let w = World.create () in
+  let net = World.add_net w ~name:"n" Ntcs_sim.Net.Tcp_lan () in
+  let m1 = World.add_machine w ~name:"m1" Ntcs_sim.Machine.Vax () in
+  let m2 = World.add_machine w ~name:"m2" Ntcs_sim.Machine.Sun3 () in
+  World.attach w m1 net;
+  World.attach w m2 net;
+  Alcotest.(check bool) "up: transmit ok" true
+    (World.transmit w ~net ~src:m1 ~dst:m2 ~size:10 (fun () -> ()));
+  net.Ntcs_sim.Net.up <- false;
+  Alcotest.(check bool) "partitioned: refused" false
+    (World.transmit w ~net ~src:m1 ~dst:m2 ~size:10 (fun () -> ()));
+  net.Ntcs_sim.Net.up <- true;
+  let pid = World.spawn w ~machine:m2 ~name:"p" (fun () -> Sched.sleep (World.sched w) 1000) in
+  World.crash_machine w m2;
+  Alcotest.(check bool) "machine down: refused" false
+    (World.transmit w ~net ~src:m1 ~dst:m2 ~size:10 (fun () -> ()));
+  World.run w;
+  Alcotest.(check bool) "procs killed" true
+    (Sched.status (World.sched w) pid = Some Sched.Was_killed)
+
+let test_crash_swallows_in_flight () =
+  let w = World.create () in
+  let net = World.add_net w ~name:"n" Ntcs_sim.Net.Tcp_lan () in
+  let m1 = World.add_machine w ~name:"m1" Ntcs_sim.Machine.Vax () in
+  let m2 = World.add_machine w ~name:"m2" Ntcs_sim.Machine.Sun3 () in
+  World.attach w m1 net;
+  World.attach w m2 net;
+  let delivered = ref false in
+  ignore (World.transmit w ~net ~src:m1 ~dst:m2 ~size:10 (fun () -> delivered := true));
+  (* Crash before the latency elapses. *)
+  World.crash_machine w m2;
+  World.run w;
+  Alcotest.(check bool) "in-flight bytes lost" false !delivered
+
+let test_machine_clocks () =
+  let m = Machine.make ~id:1 ~name:"m" ~mtype:Machine.Vax ~drift_ppm:100. ~offset_us:500 () in
+  Alcotest.(check int) "offset at t0" 500 (Machine.local_time m ~now_us:0);
+  (* 100 ppm over 1s = 100us fast, plus offset *)
+  Alcotest.(check int) "drift accumulates" (1_000_000 + 500 + 100)
+    (Machine.local_time m ~now_us:1_000_000)
+
+let test_machine_repr () =
+  Alcotest.(check bool) "vax vs sun differ" false
+    (Machine.repr_compatible Machine.Vax Machine.Sun3);
+  Alcotest.(check bool) "sun vs apollo same" true
+    (Machine.repr_compatible Machine.Sun3 Machine.Apollo);
+  Alcotest.(check bool) "vax vs vax same" true (Machine.repr_compatible Machine.Vax Machine.Vax)
+
+let test_net_latency_scales () =
+  let n = Net.make ~id:1 ~name:"n" ~kind:Net.Tcp_lan ~latency:(100, 1024, 0) () in
+  (match Net.latency n ~size:0 with
+   | Some l -> Alcotest.(check int) "base" 100 l
+   | None -> Alcotest.fail "net up");
+  (match Net.latency n ~size:2048 with
+   | Some l -> Alcotest.(check int) "per-kb" (100 + 2048) l
+   | None -> Alcotest.fail "net up");
+  n.Net.up <- false;
+  Alcotest.(check bool) "down" true (Net.latency n ~size:1 = None)
+
+let test_trace_filter () =
+  let t = Trace.create () in
+  Trace.record t ~at_us:1 ~cat:"a.x" ~actor:"p" "one";
+  Trace.record t ~at_us:2 ~cat:"b.y" ~actor:"p" "two";
+  Trace.set_filter t [ "a.x" ];
+  Trace.record t ~at_us:3 ~cat:"b.y" ~actor:"p" "dropped";
+  Trace.record t ~at_us:4 ~cat:"a.x" ~actor:"p" "kept";
+  Alcotest.(check int) "count" 3 (Trace.count t);
+  Alcotest.(check int) "matching" 2 (List.length (Trace.matching t ~cat:"a.x"));
+  Alcotest.(check int) "prefix" 2 (List.length (Trace.matching_prefix t ~prefix:"a."))
+
+let () =
+  Alcotest.run "ntcs_sim"
+    [
+      ( "sched",
+        [
+          Alcotest.test_case "virtual time ordering" `Quick test_virtual_time_ordering;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "sleep accumulates" `Quick test_sleep_accumulates;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "kill runs finalizers" `Quick test_kill_runs_finalizers;
+          Alcotest.test_case "kill embryo" `Quick test_kill_embryo;
+          Alcotest.test_case "exit status and hooks" `Quick test_exit_status_and_hooks;
+          Alcotest.test_case "late on_exit" `Quick test_on_exit_after_death_fires_immediately;
+          Alcotest.test_case "event limit" `Quick test_event_limit;
+          Alcotest.test_case "blocked processes diagnostic" `Quick
+            test_blocked_processes_diagnostic;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "mailbox order and timeout" `Quick test_mailbox_order_and_timeout;
+          Alcotest.test_case "mailbox late message" `Quick test_mailbox_timeout_then_late_message;
+          Alcotest.test_case "ivar broadcast" `Quick test_ivar;
+          Alcotest.test_case "ivar timeout" `Quick test_ivar_timeout;
+        ] );
+      ( "world",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism_across_runs;
+          Alcotest.test_case "fifo transmit" `Quick test_fifo_transmit;
+          Alcotest.test_case "partition and crash" `Quick test_partition_and_crash;
+          Alcotest.test_case "crash swallows in-flight" `Quick test_crash_swallows_in_flight;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "machine clocks" `Quick test_machine_clocks;
+          Alcotest.test_case "machine repr" `Quick test_machine_repr;
+          Alcotest.test_case "net latency" `Quick test_net_latency_scales;
+          Alcotest.test_case "trace filter" `Quick test_trace_filter;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* Unit tests for ntcs_util: RNG, heap, LRU, bounded queue, stats, metrics. *)
+
+open Ntcs_util
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 7 and b = Rng.create 8 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 5)
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 2.5)
+  done
+
+let test_rng_between () =
+  let r = Rng.create 11 in
+  for _ = 1 to 200 do
+    let v = Rng.between r 5 9 in
+    Alcotest.(check bool) "between" true (v >= 5 && v < 9)
+  done;
+  Alcotest.(check int) "empty range" 5 (Rng.between r 5 5)
+
+let test_rng_errors () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick r [||]))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  let copy = Array.copy arr in
+  Rng.shuffle r arr;
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare (Array.to_list arr) = List.sort compare (Array.to_list copy));
+  Alcotest.(check bool) "actually moved" true (arr <> copy)
+
+let test_rng_split_independent () =
+  let r = Rng.create 9 in
+  let a = Rng.split r in
+  let va = Rng.next_int64 a and vr = Rng.next_int64 r in
+  Alcotest.(check bool) "split diverges from parent" true (va <> vr)
+
+let test_heap_sorts () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  let input = [ 5; 3; 9; 1; 7; 3; 0; -2; 8 ] in
+  List.iter (Heap.push h) input;
+  Alcotest.(check (list int)) "sorted drain" (List.sort compare input) (Heap.to_list h)
+
+let test_heap_peek_pop () =
+  let h = Heap.create ~leq:(fun a b -> a <= b) in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "empty pop" None (Heap.pop h);
+  Heap.push h 4;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Heap.peek h);
+  Alcotest.(check int) "length" 2 (Heap.length h);
+  Alcotest.(check (option int)) "pop min" (Some 2) (Heap.pop h);
+  Alcotest.(check (option int)) "pop next" (Some 4) (Heap.pop h);
+  Alcotest.(check bool) "now empty" true (Heap.is_empty h)
+
+let test_heap_stability_by_seq () =
+  (* The scheduler orders by (time, seq); equal times must preserve seq
+     order. *)
+  let h = Heap.create ~leq:(fun (t1, s1) (t2, s2) -> t1 < t2 || (t1 = t2 && s1 <= s2)) in
+  List.iter (Heap.push h) [ (5, 1); (5, 0); (3, 2); (5, 2); (3, 3) ];
+  Alcotest.(check (list (pair int int)))
+    "time then seq" [ (3, 2); (3, 3); (5, 0); (5, 1); (5, 2) ] (Heap.to_list h)
+
+let test_lru_basics () =
+  let c = Lru.create 2 in
+  Lru.set c "a" 1;
+  Lru.set c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find c "a");
+  Lru.set c "c" 3;
+  (* "b" was least recently used (a was just touched) *)
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "length" 2 (Lru.length c)
+
+let test_lru_update_refreshes () =
+  let c = Lru.create 2 in
+  Lru.set c "a" 1;
+  Lru.set c "b" 2;
+  Lru.set c "a" 10;
+  Lru.set c "c" 3;
+  Alcotest.(check (option int)) "updated value survives" (Some 10) (Lru.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b")
+
+let test_lru_stats_and_remove () =
+  let c = Lru.create 4 in
+  Lru.set c 1 "x";
+  ignore (Lru.find c 1);
+  ignore (Lru.find c 2);
+  let hits, misses = Lru.stats c in
+  Alcotest.(check (pair int int)) "stats" (1, 1) (hits, misses);
+  Lru.remove c 1;
+  Alcotest.(check (option string)) "removed" None (Lru.find c 1);
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
+      ignore (Lru.create 0))
+
+let test_bqueue () =
+  let q = Bqueue.create 2 in
+  Alcotest.(check bool) "push 1" true (Bqueue.push q 1);
+  Alcotest.(check bool) "push 2" true (Bqueue.push q 2);
+  Alcotest.(check bool) "push 3 refused" false (Bqueue.push q 3);
+  Alcotest.(check int) "dropped" 1 (Bqueue.dropped q);
+  Alcotest.(check (option int)) "fifo pop" (Some 1) (Bqueue.pop q);
+  Alcotest.(check bool) "push after pop" true (Bqueue.push q 4);
+  Alcotest.(check (option int)) "peek" (Some 2) (Bqueue.peek q);
+  Alcotest.(check int) "length" 2 (Bqueue.length q)
+
+let test_stats () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "count" 5 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.median s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.min_ s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.max_ s);
+  Alcotest.(check (float 1e-9)) "p0" 1. (Stats.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Stats.percentile s 100.);
+  Alcotest.(check (float 1e-9)) "p25 interp" 2. (Stats.percentile s 25.);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) (Stats.stddev s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 1e-9)) "mean of empty" 0. (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "median of empty" 0. (Stats.median s)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Metrics.incr m "x" ~by:4;
+  Metrics.incr m "y";
+  Alcotest.(check int) "x" 5 (Metrics.get m "x");
+  Alcotest.(check int) "y" 1 (Metrics.get m "y");
+  Alcotest.(check int) "absent" 0 (Metrics.get m "z");
+  Alcotest.(check (list (pair string int))) "alist sorted" [ ("x", 5); ("y", 1) ]
+    (Metrics.to_alist m);
+  Metrics.set_gauge m "g" 2.5;
+  Alcotest.(check (float 1e-9)) "gauge" 2.5 (Metrics.gauge m "g");
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.get m "x")
+
+let () =
+  Alcotest.run "ntcs_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "between" `Quick test_rng_between;
+          Alcotest.test_case "errors" `Quick test_rng_errors;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop;
+          Alcotest.test_case "stability by seq" `Quick test_heap_stability_by_seq;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "update refreshes" `Quick test_lru_update_refreshes;
+          Alcotest.test_case "stats and remove" `Quick test_lru_stats_and_remove;
+        ] );
+      ("bqueue", [ Alcotest.test_case "bounded fifo" `Quick test_bqueue ]);
+      ( "stats",
+        [
+          Alcotest.test_case "moments and percentiles" `Quick test_stats;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+        ] );
+      ("metrics", [ Alcotest.test_case "counters and gauges" `Quick test_metrics ]);
+    ]
