@@ -1,0 +1,48 @@
+(* ntcs_lint: layer-discipline and determinism linter for the NTCS tree.
+
+   Usage: ntcs_lint [PATH]...   (default: lib)
+
+   Exit 0 when clean, 1 when any rule fires. Wired into `dune build @lint`
+   (and through it `dune runtest`) from the root dune file. *)
+
+open Cmdliner
+
+let run paths =
+  let paths = if paths = [] then [ "lib" ] else paths in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  match missing with
+  | m :: _ ->
+    Format.eprintf "ntcs_lint: no such path: %s@." m;
+    2
+  | [] ->
+    let diags = Lint.lint_paths paths in
+    if diags = [] then begin
+      Format.printf "ntcs_lint: %d file(s) clean@."
+        (List.length (Lint.source_files paths));
+      0
+    end
+    else begin
+      Lint.report Format.std_formatter diags;
+      Format.printf "ntcs_lint: %d violation(s)@." (List.length diags);
+      1
+    end
+
+let paths_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc:"Files or directories to lint.")
+
+let cmd =
+  let doc = "check NTCS layer discipline (R1) and determinism (R2) rules" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Scans OCaml sources and enforces downward-only layer references, \
+         IPCS-backend and conversion-mode allowlists, and the ban on wall \
+         clocks, unseeded randomness and hash-order iteration in protocol \
+         paths. Suppress a finding with a comment: \
+         (* lint: allow <rule>(<arg>) \xe2\x80\x94 <reason> *).";
+    ]
+  in
+  Cmd.v (Cmd.info "ntcs_lint" ~doc ~man) Term.(const run $ paths_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -14,6 +14,10 @@
    well-known addresses instead of registering (§3.4); all others register
    and are found through the naming service. *)
 
+(* lint: allow-file layering(Commod) — gateways bind full ComMods and
+   register through the naming service exactly like application modules
+   (§4.1); only their splicing runs at the IP level. *)
+
 open Ntcs_sim
 open Ntcs_ipcs
 
@@ -129,7 +133,7 @@ let handle_open t (in_net : Net.id) (in_commod : Commod.t) in_circuit (h : Proto
         in
         Ntcs_util.Metrics.incr (metrics t) "gw.opens";
         trace t ~cat:"gw.splice"
-          (Printf.sprintf "net%d label %d <-> net%d label %d (dst %s)" in_net h.Proto.ivc
+          (Printf.sprintf "net%d label %d <-> net%d label %d dst=%s" in_net h.Proto.ivc
              out_net out_label (Addr.to_string req.Proto.final_dst));
         (match Nd_layer.send_frame out_circuit fwd body with
          | Ok () -> ()
@@ -153,6 +157,14 @@ let handle_frame t (net : Net.id) (_commod : Commod.t) circuit (h : Proto.header
   | Some out ->
     let fwd = { h with Proto.ivc = out.lg_label; hops = h.Proto.hops + 1 } in
     Ntcs_util.Metrics.incr (metrics t) "gw.forwards";
+    (* Every forwarding decision is traced so the §4.2 invariant — gateways
+       never talk to each other — is checkable from event logs (lint R3)
+       instead of assumed. *)
+    trace t ~cat:"gw.forward"
+      (Printf.sprintf "net%d label %d -> net%d label %d kind=%s dst=%s" net h.Proto.ivc
+         out.lg_net out.lg_label
+         (Proto.kind_to_string h.Proto.kind)
+         (Addr.to_string h.Proto.dst));
     (match Nd_layer.send_frame out.lg_circuit fwd payload with
      | Ok () -> ()
      | Error _ ->
@@ -172,12 +184,11 @@ let handle_frame t (net : Net.id) (_commod : Commod.t) circuit (h : Proto.header
 (* A whole circuit died: cascade IVC_CLOSE across every splice riding it
    (§4.3), in both directions. *)
 let handle_down t (net : Net.id) circuit =
+  (* Cascade in (net, circuit, label) order: peers see the closes in a
+     reproducible sequence. *)
   let affected =
-    Hashtbl.fold
-      (fun (k_net, k_cid, k_label) out acc ->
-        if k_net = net && k_cid = circuit.Nd_layer.cid then ((k_net, k_cid, k_label), out) :: acc
-        else acc)
-      t.splices []
+    Ntcs_util.sorted_bindings t.splices
+    |> List.filter (fun ((k_net, k_cid, _), _) -> k_net = net && k_cid = circuit.Nd_layer.cid)
   in
   List.iter
     (fun (key, (out : leg)) ->
@@ -210,7 +221,7 @@ let serve t () =
      the naming service, carrying their topology as attributes. *)
   List.iter
     (fun (net, commod) ->
-      match List.assoc_opt net t.prime_addrs with
+      (match List.assoc_opt net t.prime_addrs with
       | Some addr -> Nd_layer.set_my_addr (Commod.nd commod) addr
       | None ->
         let attrs =
@@ -225,7 +236,10 @@ let serve t () =
          | Ok _ -> ()
          | Error e ->
            trace t ~cat:"gw.register_fail"
-             (Printf.sprintf "net %d: %s" net (Errors.to_string e))))
+             (Printf.sprintf "net %d: %s" net (Errors.to_string e))));
+      (* Publish each ComMod's settled address: the R3 trace checker learns
+         the set of gateway addresses from these events. *)
+      trace t ~cat:"gw.addr" (Addr.to_string (Nd_layer.my_addr (Commod.nd commod))))
     t.commods;
   (* Route every ComMod's gateway events into one mailbox. *)
   List.iter

@@ -10,6 +10,8 @@
     service, with which non-prime gateways register like any module (§4.1).
     Prime gateways adopt pre-assigned well-known addresses instead (§3.4). *)
 
+(* lint: allow-file layering(Commod) — gateways bind full ComMods (§4.1). *)
+
 open Ntcs_sim
 open Ntcs_ipcs
 

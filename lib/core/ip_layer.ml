@@ -31,6 +31,7 @@ type ivc = {
   mutable remote_listen : Phys_addr.t list;
   inbound : bool;
   mutable i_open : bool;
+  mutable last_mode : Convert.mode option; (* last conversion mode traced (ip.convert) *)
 }
 
 (* What the routing oracle (NSP + well-known table) answers. *)
@@ -121,6 +122,7 @@ let find_ivc t peer =
           remote_listen = circuit.Nd_layer.peer_listen;
           inbound = true;
           i_open = true;
+          last_mode = None;
         }
       in
       register_ivc t ivc;
@@ -160,6 +162,7 @@ let open_direct t ~dst ~phys_candidates =
         remote_listen = circuit.Nd_layer.peer_listen;
         inbound = false;
         i_open = true;
+        last_mode = None;
       }
     in
     register_ivc t ivc;
@@ -209,6 +212,7 @@ let open_chained t ~dst ~hops ~first_phys =
                 remote_listen = List.filter_map Phys_addr.of_string hello.Proto.h_listen;
                 inbound = false;
                 i_open = true;
+                last_mode = None;
               }
             in
             register_ivc t ivc;
@@ -265,6 +269,19 @@ let send t ivc ~kind ?(seq = 0) ?(conv = 0) ?(app_tag = 0) (payload : Convert.pa
           | Proto.Ping | Proto.Pong | Proto.Hello | Proto.Hello_ack | Proto.Ivc_open
           | Proto.Ivc_accept | Proto.Ivc_reject | Proto.Ivc_close -> false)
     in
+    (* One trace event per mode *transition* on the IVC: enough for the R3
+       invariant (never packed between identical representations, never
+       image between different ones) and for watching E6's adaptive flip,
+       without a per-frame flood. *)
+    if ivc.last_mode <> Some mode then begin
+      ivc.last_mode <- Some mode;
+      trace t ~cat:"ip.convert"
+        (Printf.sprintf "mode=%s local=%s remote=%s dst=%s%s" (Convert.mode_to_string mode)
+           (Endian.order_to_string my_order)
+           (Endian.order_to_string ivc.remote_order)
+           (Addr.to_string ivc.peer)
+           (if t.node.Node.config.Node.force_packed then " forced" else ""))
+    end;
     (match mode with
      | Convert.Image ->
        Ntcs_util.Metrics.incr (metrics t) "conv.image_msgs";
@@ -323,6 +340,7 @@ let accept_chained t circuit (h : Proto.header) (req : Proto.ivc_open) =
         List.filter_map Phys_addr.of_string req.Proto.origin_hello.Proto.h_listen;
       inbound = true;
       i_open = true;
+      last_mode = None;
     }
   in
   register_ivc t ivc;
@@ -363,9 +381,8 @@ let handle_circuit_down t circuit =
      LCM can attempt relocation (§4.3: "the error is passed up to the
      LCM-layer, where a new connection (or relocation) will be attempted"). *)
   let dead =
-    Hashtbl.fold
-      (fun _ ivc acc -> if ivc.circuit == circuit then ivc :: acc else acc)
-      t.by_peer []
+    Ntcs_util.sorted_bindings ~compare:Addr.compare t.by_peer
+    |> List.filter_map (fun (_, ivc) -> if ivc.circuit == circuit then Some ivc else None)
   in
   List.iter
     (fun ivc ->

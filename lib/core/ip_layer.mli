@@ -25,6 +25,8 @@ type ivc = {
   mutable remote_listen : Phys_addr.t list;
   inbound : bool;
   mutable i_open : bool;
+  mutable last_mode : Convert.mode option;
+      (** last conversion mode traced on this IVC (mode-transition events) *)
 }
 
 (** What the routing oracle answers, in preference order. *)

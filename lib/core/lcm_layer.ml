@@ -53,6 +53,7 @@ type t = {
   mutable dispatcher : Sched.pid option;
   mutable on_peer_down : (Addr.t -> unit) option;
   mutable running : bool;
+  mutable deepest : int; (* recursion high-water mark already traced *)
   counters : counters;
 }
 
@@ -81,6 +82,21 @@ let fresh_seq t =
   let s = t.next_seq in
   t.next_seq <- s + 1;
   s
+
+(* §6 / lint R3: make the recursion ceiling observable from the trace. One
+   event per new high-water mark, so the steady state stays quiet and
+   [Lint_trace.recursion_bounded] can assert the §6.3 bound from logs. *)
+let note_depth t =
+  let d = Recursion.depth t.track in
+  if d > t.deepest then begin
+    t.deepest <- d;
+    trace t ~cat:"lcm.depth" (string_of_int d)
+  end
+
+let tracked t f =
+  Recursion.with_entry t.track (fun () ->
+      note_depth t;
+      f ())
 
 (* --- the monitor / time-service hooks (§6.1) --- *)
 
@@ -187,7 +203,7 @@ let send_frame t ~dst ~kind ~conv ~app_tag payload =
   go dst 0
 
 let send t ~dst ?(app_tag = 0) payload =
-  Recursion.with_entry t.track (fun () ->
+  tracked t (fun () ->
       monitor_event t "send" (Addr.to_string dst);
       let r = send_frame t ~dst ~kind:Proto.Data ~conv:0 ~app_tag payload in
       (match r with
@@ -199,7 +215,7 @@ let send t ~dst ?(app_tag = 0) payload =
 
 (* Connectionless protocol: single attempt, no relocation, no recovery. *)
 let send_dgram t ~dst ?(app_tag = 0) payload =
-  Recursion.with_entry t.track (fun () ->
+  tracked t (fun () ->
       let r = send_frame t ~dst ~kind:Proto.Dgram ~conv:0 ~app_tag payload in
       (match r with
        | Ok () -> Ntcs_util.Metrics.incr (metrics t) "lcm.dgrams"
@@ -219,7 +235,7 @@ let await_reply t ~dst ~conv ~timeout_us =
 
 (* Synchronous send/receive/reply conversation (§1.3). *)
 let send_sync t ~dst ?(app_tag = 0) ?timeout_us payload =
-  Recursion.with_entry t.track (fun () ->
+  tracked t (fun () ->
       monitor_event t "send-sync" (Addr.to_string dst);
       let timeout_us =
         match timeout_us with
@@ -236,7 +252,7 @@ let send_sync t ~dst ?(app_tag = 0) ?timeout_us payload =
         await_reply t ~dst ~conv ~timeout_us)
 
 let reply t (env : envelope) ?(app_tag = 0) payload =
-  Recursion.with_entry t.track (fun () ->
+  tracked t (fun () ->
       if env.env_conv = 0 then Error (Errors.Internal "reply to a message that expects none")
       else begin
         monitor_event t "reply" (Addr.to_string env.env_src);
@@ -250,7 +266,7 @@ let reply t (env : envelope) ?(app_tag = 0) payload =
 (* Liveness probe: PING / PONG with a conversation id. Used by the naming
    service to decide whether an old UAdd is "really inactive" (§3.5). *)
 let ping t ~dst ~timeout_us =
-  Recursion.with_entry t.track (fun () ->
+  tracked t (fun () ->
       let conv = fresh_conv t in
       match
         send_frame t ~dst ~kind:Proto.Ping ~conv ~app_tag:0
@@ -273,7 +289,7 @@ let take_stashed t want =
   !found
 
 let recv ?timeout_us ?app_tag t =
-  Recursion.with_entry t.track (fun () ->
+  tracked t (fun () ->
       let want env =
         match app_tag with None -> true | Some tag -> env.env_app_tag = tag
       in
@@ -375,12 +391,13 @@ let peers_down t peers =
   List.iter
     (fun peer ->
       (* Fail conversations that were waiting on this peer: their reply may
-         never come. The caller's fault path takes it from there. *)
-      Hashtbl.iter
-        (fun _ slot ->
+         never come. The caller's fault path takes it from there. Waiters
+         wake in conversation-id order, never in table order. *)
+      List.iter
+        (fun (_, slot) ->
           if Addr.equal slot.rs_dst peer then
             ignore (Sched.Ivar.try_fill slot.rs_ivar (Error Errors.Circuit_failed)))
-        t.waiting;
+        (Ntcs_util.sorted_bindings t.waiting);
       match t.on_peer_down with Some f -> f peer | None -> ())
     peers
 
@@ -415,6 +432,7 @@ let create node nd ip =
       dispatcher = None;
       on_peer_down = None;
       running = true;
+      deepest = 0;
       counters = { c_sent = 0; c_received = 0; c_sync_calls = 0; c_faults = 0 };
     }
   in

@@ -87,16 +87,20 @@ let fresh_addr t =
 
 (* --- queries over the database --- *)
 
+(* All database walks below go through [sorted_bindings]: query answers (and
+   hence tie-breaks on equal stamps) must not depend on hash-table layout. *)
+
 let find_by_name t name =
-  Hashtbl.fold
-    (fun _ r best ->
+  List.fold_left
+    (fun best (_, r) ->
       if r.r_alive && String.equal r.r_name name then begin
         match best with
         | Some b when b.r_stamp >= r.r_stamp -> best
         | Some _ | None -> Some r
       end
       else best)
-    t.db None
+    None
+    (Ntcs_util.sorted_bindings ~compare:Addr.compare t.db)
 
 let matches_attrs (r : record) attrs =
   List.for_all
@@ -107,9 +111,10 @@ let matches_attrs (r : record) attrs =
     attrs
 
 let find_by_attrs t attrs =
-  Hashtbl.fold (fun _ r acc -> if r.r_alive && matches_attrs r attrs then r :: acc else acc)
-    t.db []
-  |> List.sort (fun a b -> compare a.r_stamp b.r_stamp)
+  Ntcs_util.sorted_bindings ~compare:Addr.compare t.db
+  |> List.filter_map (fun (_, r) ->
+         if r.r_alive && matches_attrs r attrs then Some r else None)
+  |> List.stable_sort (fun a b -> compare a.r_stamp b.r_stamp)
 
 (* "Looking for a similar name in a newer module": same name, or same
    service attribute, strictly newer, still alive. *)
@@ -121,8 +126,8 @@ let find_replacement t (old : record) =
     | Some a, Some b -> String.equal a b
     | _ -> false
   in
-  Hashtbl.fold
-    (fun _ r best ->
+  List.fold_left
+    (fun best (_, r) ->
       if r.r_alive && r.r_stamp > old.r_stamp && (not (Addr.equal r.r_addr old.r_addr))
          && similar r
       then begin
@@ -131,14 +136,14 @@ let find_replacement t (old : record) =
         | Some _ | None -> Some r
       end
       else best)
-    t.db None
+    None
+    (Ntcs_util.sorted_bindings ~compare:Addr.compare t.db)
 
 let gateway_records t =
-  Hashtbl.fold
-    (fun _ r acc ->
-      if r.r_alive && List.assoc_opt Router.attr_gateway r.r_attrs = Some "yes" then r :: acc
-      else acc)
-    t.db []
+  Ntcs_util.sorted_bindings ~compare:Addr.compare t.db
+  |> List.filter_map (fun (_, r) ->
+         if r.r_alive && List.assoc_opt Router.attr_gateway r.r_attrs = Some "yes" then Some r
+         else None)
 
 (* --- replication --- *)
 
@@ -261,9 +266,9 @@ let handle_request t commod (req : Ns_proto.request) =
   | Ns_proto.List_gateways -> Ns_proto.R_entries (List.map entry_of_record (gateway_records t))
   | Ns_proto.Sync_pull since ->
     let fresh =
-      Hashtbl.fold
-        (fun _ r acc -> if r.r_stamp > since then (r.r_stamp, entry_of_record r) :: acc else acc)
-        t.db []
+      Ntcs_util.sorted_bindings ~compare:Addr.compare t.db
+      |> List.filter_map (fun (_, r) ->
+             if r.r_stamp > since then Some (r.r_stamp, entry_of_record r) else None)
     in
     Ns_proto.R_sync fresh
   | Ns_proto.Sync_push entries ->
@@ -339,5 +344,7 @@ let stop t = t.running <- false
 let db_size t = Hashtbl.length t.db
 
 let dump t =
-  Hashtbl.fold (fun _ r acc -> entry_of_record r :: acc) t.db []
-  |> List.sort (fun a b -> Addr.compare a.Ns_proto.e_addr b.Ns_proto.e_addr)
+  (* Keys are the record addresses, so sorted bindings are already in
+     address order. *)
+  List.map (fun (_, r) -> entry_of_record r)
+    (Ntcs_util.sorted_bindings ~compare:Addr.compare t.db)

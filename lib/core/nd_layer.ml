@@ -461,8 +461,11 @@ let shutdown t =
   if not t.closed then begin
     t.closed <- true;
     List.iter (fun a -> a.Std_if.shutdown ()) t.acceptors;
-    Hashtbl.iter (fun _ c -> if c.c_open then begin c.c_open <- false; c.lvc.Std_if.abort () end)
-      t.circuits;
+    (* Tear circuits down in peer-address order: the peers observe our
+       death in a reproducible sequence. *)
+    List.iter
+      (fun (_, c) -> if c.c_open then begin c.c_open <- false; c.lvc.Std_if.abort () end)
+      (Ntcs_util.sorted_bindings ~compare:Addr.compare t.circuits);
     Hashtbl.reset t.circuits;
     List.iter (fun pid -> Sched.kill (sched t) pid) t.helpers;
     t.helpers <- []

@@ -146,12 +146,14 @@ let forward_query t addr =
   | Ok (Ns_proto.R_forward r) ->
     (match r with
      | Some fresh ->
-       (* Patch the name cache so names resolving to the dead address heal. *)
-       Hashtbl.iter
-         (fun name (a, _) ->
+       (* Patch the name cache so names resolving to the dead address heal.
+          A sorted snapshot both fixes the walk order and makes the
+          mid-iteration [replace] safe without copying the table. *)
+       List.iter
+         (fun (name, (a, _)) ->
            if Addr.equal a addr then
              Hashtbl.replace t.name_cache name (fresh, Node.now t.node + ttl t))
-         (Hashtbl.copy t.name_cache)
+         (Ntcs_util.sorted_bindings t.name_cache)
      | None -> ());
     Ok r
   | Ok _ -> Error protocol_error

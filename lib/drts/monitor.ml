@@ -30,8 +30,7 @@ let bump tbl key =
 
 let stats_of server =
   let dump tbl =
-    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    List.map (fun (k, r) -> (k, !r)) (Ntcs_util.sorted_bindings tbl)
   in
   {
     Drts_proto.ms_total = server.total;

@@ -1,0 +1,33 @@
+(* The static-analysis driver: walk source trees, run every rule family on
+   every .ml/.mli, aggregate sorted diagnostics. Malformed pragmas are
+   diagnostics too — a suppression that silently fails to parse would be
+   worse than no suppression at all. *)
+
+let is_source file =
+  Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
+
+let hidden name = String.length name = 0 || name.[0] = '.' || name.[0] = '_'
+
+(* Deterministic directory walk (sorted readdir). *)
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.filter (fun name -> not (hidden name))
+    |> List.sort String.compare
+    |> List.fold_left (fun acc name -> walk (Filename.concat path name) acc) acc
+  else if is_source path then path :: acc
+  else acc
+
+let source_files paths = List.rev (List.fold_left (fun acc p -> walk p acc) [] paths)
+
+let check_source src =
+  let _, malformed = Lint_lex.pragmas src in
+  Lint_diag.sort (malformed @ Lint_layering.check src @ Lint_determinism.check src)
+
+let lint_file file = check_source (Lint_lex.load file)
+
+let lint_paths paths =
+  Lint_diag.sort (List.concat_map lint_file (source_files paths))
+
+let report ppf diags =
+  List.iter (fun d -> Format.fprintf ppf "%a@." Lint_diag.pp d) diags

@@ -1,0 +1,18 @@
+(** Static-analysis driver: walks source trees, runs the layering (R1) and
+    determinism (R2) rule families plus pragma well-formedness on every
+    [.ml]/[.mli], and aggregates sorted diagnostics. Trace-based invariants
+    (R3) live in {!Lint_trace} and run from tests. *)
+
+val source_files : string list -> string list
+(** Every [.ml]/[.mli] under the given files/directories, walked in sorted
+    order; hidden and [_build]-style directories are skipped. *)
+
+val check_source : Lint_lex.source -> Lint_diag.t list
+(** All static rules on one (possibly in-memory) source. *)
+
+val lint_file : string -> Lint_diag.t list
+
+val lint_paths : string list -> Lint_diag.t list
+
+val report : Format.formatter -> Lint_diag.t list -> unit
+(** One [file:line: [rule] message] per line. *)

@@ -1,0 +1,33 @@
+(* R2: determinism. The simulation's repeatability rests on nothing in a
+   protocol path consulting wall clocks, unseeded randomness or hash-table
+   layout. Grep-grade, word-bounded, on blanked text; suppress with
+   `lint: allow determinism(<pattern>) — reason`. *)
+
+let rule = "determinism"
+
+let check (src : Lint_lex.source) =
+  let file = src.Lint_lex.src_file in
+  let pragmas, _ = Lint_lex.pragmas src in
+  let in_protocol = Lint_rules.protocol_path file in
+  let applicable =
+    List.filter
+      (fun (r : Lint_rules.det_rule) -> r.Lint_rules.d_everywhere || in_protocol)
+      Lint_rules.det_rules
+  in
+  let diags = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      List.iter
+        (fun (r : Lint_rules.det_rule) ->
+          if Lint_lex.line_has_token line r.Lint_rules.d_pat
+             && not
+                  (Lint_lex.pragma_allows pragmas ~rule ~arg:r.Lint_rules.d_pat ~line:lineno)
+          then
+            diags :=
+              Lint_diag.make ~file ~line:lineno ~rule
+                (Printf.sprintf "%s: %s" r.Lint_rules.d_pat r.Lint_rules.d_why)
+              :: !diags)
+        applicable)
+    (Lint_lex.lines src.Lint_lex.src_blank);
+  Lint_diag.sort !diags

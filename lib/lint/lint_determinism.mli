@@ -1,0 +1,7 @@
+(** R2: determinism — no wall clocks, unseeded randomness, [Obj.magic], or
+    hash-order iteration in protocol paths. Suppress with
+    [lint: allow determinism(<pattern>) — reason]. *)
+
+val rule : string
+
+val check : Lint_lex.source -> Lint_diag.t list

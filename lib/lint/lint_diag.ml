@@ -1,0 +1,23 @@
+(* A single linter finding, pinned to a source location so editors and CI
+   logs can jump straight to it. *)
+
+type t = { file : string; line : int; rule : string; msg : string }
+
+let make ~file ~line ~rule msg = { file; line; rule; msg }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match String.compare a.rule b.rule with
+      | 0 -> String.compare a.msg b.msg
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let sort ds = List.sort_uniq compare ds
+
+let pp ppf d = Format.fprintf ppf "%s:%d: [%s] %s" d.file d.line d.rule d.msg
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,21 @@
+(** Linter diagnostics: one finding per source location. *)
+
+type t = {
+  file : string;  (** path as given to the linter *)
+  line : int;  (** 1-based *)
+  rule : string;  (** rule family: ["layering"], ["determinism"], ["pragma"] *)
+  msg : string;
+}
+
+val make : file:string -> line:int -> rule:string -> string -> t
+
+val compare : t -> t -> int
+(** Order by file, then line, then rule, then message. *)
+
+val sort : t list -> t list
+(** Sort and drop exact duplicates. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [file:line: [rule] message]. *)
+
+val to_string : t -> string

@@ -1,0 +1,32 @@
+(** The repo-specific lint policy: layer ranks, restricted-module
+    allowlists, and determinism-threatening call patterns. *)
+
+val rank_of : string -> int option
+(** Layer rank of a module name, following the paper's stack: 7
+    applications, 6 ALI/ComMod, 5 NSP, 4 LCM, 3 IP/Gateway/Router, 2 ND,
+    1 STD-IF, 0 IPCS backends. [None] = common substrate, unconstrained. *)
+
+val layer_name : int -> string
+
+val module_of_file : string -> string
+(** ["lib/core/lcm_layer.ml"] -> ["Lcm_layer"]. *)
+
+val protocol_path : string -> bool
+(** Is this file on the message path (lib/core, lib/ipcs, lib/sim,
+    lib/drts, lib/ursa)? Hash-order iteration is forbidden there. *)
+
+val may_name_ipcs_backend : string -> bool
+(** May this file name [Ipcs_tcp]/[Ipcs_mbx]? True for lib/ipcs itself,
+    [Std_if] and [Nd_layer]. *)
+
+val ipcs_backends : string list
+
+val may_select_conversion : string -> bool
+(** May this file call [Convert.choose]/[Convert.force]? True for lib/wire
+    (mechanism) and [Ip_layer] (policy, §5). *)
+
+val conversion_selectors : string list
+
+type det_rule = { d_pat : string; d_why : string; d_everywhere : bool }
+
+val det_rules : det_rule list

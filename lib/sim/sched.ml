@@ -272,12 +272,11 @@ let events_executed t = t.event_count
    them)? Long-running servers legitimately appear here; a test harness can
    subtract its known daemons and flag the rest as deadlocked. *)
 let blocked_processes t =
-  Hashtbl.fold
-    (fun _ proc acc ->
-      match proc.state with
-      | Suspended _ -> proc.proc_name :: acc
-      | Embryo _ | Running | Queued _ | Dead -> acc)
-    t.procs []
+  Ntcs_util.sorted_bindings t.procs
+  |> List.filter_map (fun (_, proc) ->
+         match proc.state with
+         | Suspended _ -> Some proc.proc_name
+         | Embryo _ | Running | Queued _ | Dead -> None)
   |> List.sort String.compare
 
 (* --- Ivar: write-once cell --- *)

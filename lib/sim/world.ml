@@ -64,22 +64,24 @@ let attach t (m : Machine.t) (n : Net.t) = Hashtbl.replace t.attachments (m.id, 
 let attached t mid nid = Hashtbl.mem t.attachments (mid, nid)
 
 let nets_of_machine t mid =
-  Hashtbl.fold (fun (m, n) () acc -> if m = mid then n :: acc else acc) t.attachments []
+  Ntcs_util.sorted_bindings t.attachments
+  |> List.filter_map (fun ((m, n), ()) -> if m = mid then Some n else None)
   |> List.sort_uniq compare
 
 let machines_on t nid =
-  Hashtbl.fold (fun (m, n) () acc -> if n = nid then m :: acc else acc) t.attachments []
+  Ntcs_util.sorted_bindings t.attachments
+  |> List.filter_map (fun ((m, n), ()) -> if n = nid then Some m else None)
   |> List.sort_uniq compare
 
 let common_nets t m1 m2 =
   List.filter (fun n -> attached t m2 n) (nets_of_machine t m1)
 
 let all_machines t =
-  Hashtbl.fold (fun _ m acc -> m :: acc) t.machines []
+  List.map snd (Ntcs_util.sorted_bindings t.machines)
   |> List.sort (fun (a : Machine.t) b -> compare a.id b.id)
 
 let all_nets t =
-  Hashtbl.fold (fun _ n acc -> n :: acc) t.nets []
+  List.map snd (Ntcs_util.sorted_bindings t.nets)
   |> List.sort (fun (a : Net.t) b -> compare a.id b.id)
 
 let spawn t ~machine:(m : Machine.t) ~name f =
@@ -98,8 +100,8 @@ let spawn t ~machine:(m : Machine.t) ~name f =
 let machine_of_proc t pid = Hashtbl.find_opt t.proc_machine pid
 
 let procs_on_machine t mid =
-  Hashtbl.fold (fun pid m acc -> if m = mid then pid :: acc else acc) t.proc_machine []
-  |> List.sort compare
+  Ntcs_util.sorted_bindings t.proc_machine
+  |> List.filter_map (fun (pid, m) -> if m = mid then Some pid else None)
 
 let crash_machine t (m : Machine.t) =
   m.up <- false;

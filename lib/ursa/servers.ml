@@ -132,7 +132,7 @@ let merge_scores replies =
             tp.Ursa_msg.tp_postings)
         r.Ursa_msg.ir_results)
     replies;
-  Hashtbl.fold (fun doc score acc -> (doc, score) :: acc) scores []
+  Ntcs_util.sorted_bindings scores
   |> List.sort (fun (d1, s1) (d2, s2) ->
          match compare s2 s1 with 0 -> compare d1 d2 | c -> c)
 

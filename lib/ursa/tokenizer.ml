@@ -35,5 +35,5 @@ let term_counts text =
       | Some r -> incr r
       | None -> Hashtbl.replace tbl w (ref 1))
     (tokens text);
-  Hashtbl.fold (fun w r acc -> (w, !r) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  (* sorted_bindings on string keys already yields word order. *)
+  List.map (fun (w, r) -> (w, !r)) (Ntcs_util.sorted_bindings tbl)

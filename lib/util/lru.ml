@@ -88,4 +88,15 @@ let clear t =
 
 let stats t = (t.hits, t.misses)
 
-let iter t f = Hashtbl.iter (fun k node -> f k node.value) t.table
+(* Walk the recency list, not the backing table: callers observe a
+   deterministic, meaningful order (most recently used first) instead of
+   whatever the Hashtbl happens to produce. *)
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+      let next = node.next in
+      f node.key node.value;
+      go next
+  in
+  go t.head

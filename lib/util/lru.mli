@@ -22,3 +22,6 @@ val stats : ('k, 'v) t -> int * int
 (** [(hits, misses)] since creation. *)
 
 val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** Visits entries in recency order, most recently used first — a
+    guaranteed, deterministic order (never the backing table's). [f] must
+    not mutate the cache during iteration. *)

@@ -1,0 +1,15 @@
+(** Deterministic views of hash tables.
+
+    Protocol code must never let [Hashtbl]'s internal iteration order become
+    observable (message order, teardown order, trace order): it is stable
+    only by accident. These helpers materialise the bindings as a list
+    sorted by key, giving a canonical order. The repo linter (rule R2)
+    forbids raw [Hashtbl.iter]/[Hashtbl.fold] in protocol paths. *)
+
+val sorted_bindings : ?compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings sorted by key ([compare] defaults to the polymorphic
+    compare). Safe to mutate the table while consuming the result: the list
+    is a snapshot. Assumes replace-style tables (one binding per key). *)
+
+val sorted_keys : ?compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** [sorted_keys t] = [List.map fst (sorted_bindings t)]. *)

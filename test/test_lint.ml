@@ -1,0 +1,280 @@
+(* Self-tests for the ntcs_lint static-analysis pass: the lexer, one
+   seeded violation per rule family (R1 layering, R2 determinism, R3 trace
+   invariants) asserting the linter fires with the right file:line, and the
+   allow-pragma escape hatch. *)
+
+let src file text = Lint_lex.of_string ~file text
+
+let diag_strings ds = List.map Lint_diag.to_string ds
+
+(* --- lexer --- *)
+
+let test_blank () =
+  let text = "let a = 1 (* note\n   Foo.bar *)\nlet s = \"Baz.qux\"\nlet c = '\"'\n" in
+  let b = Lint_lex.blank text in
+  Alcotest.(check int) "same length" (String.length text) (String.length b);
+  Alcotest.(check int)
+    "same line count"
+    (List.length (Lint_lex.lines text))
+    (List.length (Lint_lex.lines b));
+  Alcotest.(check bool) "comment gone" false
+    (List.exists (fun (_, m) -> m = "Foo") (Lint_lex.module_refs (src "x.ml" text)));
+  Alcotest.(check bool) "string gone" false
+    (List.exists (fun (_, m) -> m = "Baz") (Lint_lex.module_refs (src "x.ml" text)))
+
+let test_nested_comment () =
+  let text = "(* a (* nested *) still comment Foo.bar *)\nlet x = Lcm_layer.create\n" in
+  let refs = Lint_lex.module_refs (src "x.ml" text) in
+  Alcotest.(check (list (pair int string))) "only the real ref" [ (2, "Lcm_layer") ] refs
+
+let test_module_refs () =
+  let text = "open Nsp_layer\nlet x = Ntcs_util.Metrics.incr\nlet y = Some 1\n" in
+  let refs = Lint_lex.module_refs (src "x.ml" text) in
+  Alcotest.(check (list (pair int string)))
+    "open + head of path, constructors skipped"
+    [ (1, "Nsp_layer"); (2, "Ntcs_util") ]
+    refs
+
+let test_pragma_parse () =
+  let text =
+    "(* lint: allow layering(Commod) \xe2\x80\x94 documented exception *)\n\
+     let x = 1\n\
+     (* lint: allow-file determinism -- whole file *)\n"
+  in
+  let ps, bad = Lint_lex.pragmas (src "x.ml" text) in
+  Alcotest.(check int) "no malformed" 0 (List.length bad);
+  Alcotest.(check int) "two pragmas" 2 (List.length ps);
+  let p1 = List.nth ps 0 and p2 = List.nth ps 1 in
+  Alcotest.(check bool) "line scope" false p1.Lint_lex.p_file_scope;
+  Alcotest.(check (option string)) "arg" (Some "Commod") p1.Lint_lex.p_arg;
+  Alcotest.(check bool) "file scope" true p2.Lint_lex.p_file_scope;
+  Alcotest.(check (option string)) "no arg" None p2.Lint_lex.p_arg;
+  Alcotest.(check bool) "covers own line"
+    true
+    (Lint_lex.pragma_allows ps ~rule:"layering" ~arg:"Commod" ~line:1);
+  Alcotest.(check bool) "covers next line"
+    true
+    (Lint_lex.pragma_allows ps ~rule:"layering" ~arg:"Commod" ~line:2);
+  Alcotest.(check bool) "not two lines down"
+    false
+    (Lint_lex.pragma_allows ps ~rule:"layering" ~arg:"Commod" ~line:3);
+  Alcotest.(check bool) "file scope covers everything"
+    true
+    (Lint_lex.pragma_allows ps ~rule:"determinism" ~arg:"Hashtbl.iter" ~line:99)
+
+let test_pragma_malformed () =
+  let text = "(* lint: allow layering(Commod) *)\n(* lint: allow determinism \xe2\x80\x94 *)\n" in
+  let ps, bad = Lint_lex.pragmas (src "x.ml" text) in
+  Alcotest.(check int) "none parse" 0 (List.length ps);
+  Alcotest.(check (list string))
+    "both reported with file:line"
+    [
+      "x.ml:1: [pragma] malformed pragma: missing \xe2\x80\x94 separator before the reason";
+      "x.ml:2: [pragma] malformed pragma: missing reason after the separator";
+    ]
+    (diag_strings bad);
+  (* Documentation that merely mentions the syntax is not a pragma. *)
+  let doc = "(* write e.g. lint: allow layering(Foo) to suppress *)\n" in
+  let ps, bad = Lint_lex.pragmas (src "x.ml" doc) in
+  Alcotest.(check int) "mid-comment mention ignored" 0 (List.length ps + List.length bad)
+
+(* --- R1: layering --- *)
+
+let test_r1_upward_reference () =
+  let text = "let boot () =\n  Lcm_layer.create ()\n" in
+  let ds = Lint_layering.check (src "lib/core/nd_layer.ml" text) in
+  Alcotest.(check (list string))
+    "upward reference reported at file:line"
+    [
+      "lib/core/nd_layer.ml:2: [layering] Nd_layer (ND, rank 2) references Lcm_layer (LCM, \
+       rank 4): layers only call downward";
+    ]
+    (diag_strings ds);
+  (* Downward is fine. *)
+  let ds = Lint_layering.check (src "lib/core/lcm_layer.ml" "let x = Ip_layer.send\n") in
+  Alcotest.(check int) "downward clean" 0 (List.length ds);
+  (* The pragma silences it. *)
+  let text = "(* lint: allow layering(Lcm_layer) \xe2\x80\x94 test exception *)\nlet b = Lcm_layer.create\n" in
+  let ds = Lint_layering.check (src "lib/core/nd_layer.ml" text) in
+  Alcotest.(check int) "pragma suppresses" 0 (List.length ds)
+
+let test_r1_backend_naming () =
+  let ds = Lint_layering.check (src "lib/core/lcm_layer.ml" "let x = Ipcs_tcp.connect\n") in
+  Alcotest.(check int) "LCM may not name a backend" 1 (List.length ds);
+  Alcotest.(check string) "right rule" "layering" (List.hd ds).Lint_diag.rule;
+  let ds = Lint_layering.check (src "lib/core/std_if.ml" "let x = Ipcs_tcp.connect\n") in
+  Alcotest.(check int) "Std_if may" 0 (List.length ds);
+  let ds = Lint_layering.check (src "lib/ipcs/registry.ml" "let x = Ipcs_mbx.create\n") in
+  Alcotest.(check int) "lib/ipcs may" 0 (List.length ds)
+
+let test_r1_conversion_selection () =
+  let ds = Lint_layering.check (src "lib/core/lcm_layer.ml" "let m = Convert.choose a b\n") in
+  Alcotest.(check (list string))
+    "conversion selected above IP"
+    [
+      "lib/core/lcm_layer.ml:1: [layering] Lcm_layer calls Convert.choose: only Ip_layer \
+       selects a conversion mode (\xc2\xa75)";
+    ]
+    (diag_strings ds);
+  let ds = Lint_layering.check (src "lib/core/ip_layer.ml" "let m = Convert.choose a b\n") in
+  Alcotest.(check int) "Ip_layer may" 0 (List.length ds)
+
+(* --- R2: determinism --- *)
+
+let test_r2_forbidden_calls () =
+  let text = "let a tbl = Hashtbl.iter f tbl\nlet b () = Obj.magic 0\n" in
+  let ds = Lint_determinism.check (src "lib/core/lcm_layer.ml" text) in
+  Alcotest.(check (list string))
+    "both reported with file:line"
+    [
+      "lib/core/lcm_layer.ml:1: [determinism] Hashtbl.iter: hash-order iteration is \
+       nondeterministic; use Ntcs_util.sorted_bindings";
+      "lib/core/lcm_layer.ml:2: [determinism] Obj.magic: defeats the type system; never on \
+       a protocol path";
+    ]
+    (diag_strings ds)
+
+let test_r2_scope_and_pragma () =
+  (* Hashtbl rules apply only on protocol paths... *)
+  let text = "let a tbl = Hashtbl.fold f tbl []\n" in
+  Alcotest.(check int) "lib/util exempt" 0
+    (List.length (Lint_determinism.check (src "lib/util/tbl.ml" text)));
+  Alcotest.(check int) "protocol path flagged" 1
+    (List.length (Lint_determinism.check (src "lib/sim/sched.ml" text)));
+  (* ...but the wall-clock/unsafe rules apply everywhere. *)
+  Alcotest.(check int) "Unix.gettimeofday everywhere" 1
+    (List.length
+       (Lint_determinism.check (src "lib/util/x.ml" "let t = Unix.gettimeofday ()\n")));
+  (* Escape hatch. *)
+  let text =
+    "(* lint: allow determinism(Hashtbl.fold) \xe2\x80\x94 snapshot, order irrelevant *)\n\
+     let a tbl = Hashtbl.fold f tbl []\n"
+  in
+  Alcotest.(check int) "pragma suppresses" 0
+    (List.length (Lint_determinism.check (src "lib/sim/sched.ml" text)));
+  (* Word boundaries: prefixes and strings don't fire. *)
+  let text = "let a = My_hashtbl.iter\nlet b = \"Hashtbl.iter\"\n" in
+  Alcotest.(check int) "no false positives" 0
+    (List.length (Lint_determinism.check (src "lib/sim/sched.ml" text)))
+
+(* --- R3: trace invariants --- *)
+
+let e ?(at = 0) cat actor detail =
+  { Ntcs_sim.Trace.at_us = at; cat; actor; detail }
+
+let gw_world =
+  [
+    e "gw.addr" "gwA" "U900.1";
+    e "gw.addr" "gwB" "U901.1";
+    e "gw.up" "gwA" "bridging nets [0,1]";
+  ]
+
+let test_r3_gateway_peering () =
+  (* Clean: a chain through gwA terminating at an application address. *)
+  let clean =
+    gw_world
+    @ [
+        e "nd.open" "gw/gwA@1" "U901.1 at mbx:ring/7";
+        e "gw.splice" "gwA" "net0 label 3 <-> net1 label 4 dst=U55.9";
+        e "gw.forward" "gwA" "net0 label 3 -> net1 label 4 kind=msg dst=U55.9";
+      ]
+  in
+  Alcotest.(check int) "chain through a gateway is legal" 0
+    (List.length (Lint_trace.no_gateway_peering clean));
+  (* Violation: a chain terminating at a gateway address. *)
+  let bad = gw_world @ [ e "gw.splice" "gwA" "net0 label 3 <-> net1 label 4 dst=U901.1" ] in
+  (match Lint_trace.no_gateway_peering bad with
+   | [ v ] -> Alcotest.(check string) "invariant name" "gateway-peering" v.Lint_trace.v_invariant
+   | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+  (* Forwarded payload toward a gateway: violation. Replies flowing back to
+     a gateway-originated chain: legal. *)
+  let bad = gw_world @ [ e "gw.forward" "gwA" "net0 label 3 -> net1 label 4 kind=data dst=U901.1" ] in
+  Alcotest.(check int) "payload toward a gateway" 1
+    (List.length (Lint_trace.no_gateway_peering bad));
+  let ok = gw_world @ [ e "gw.forward" "gwA" "net0 label 3 -> net1 label 4 kind=reply dst=U901.1" ] in
+  Alcotest.(check int) "replies back to a gateway-originated chain" 0
+    (List.length (Lint_trace.no_gateway_peering ok));
+  (* Violation: a gateway ComMod opens an IVC to another gateway. *)
+  let bad = gw_world @ [ e "ip.ivc_open" "gw/gwA@0" "to U901.1 via 1 hop(s)" ] in
+  Alcotest.(check int) "gateway IVC to gateway" 1
+    (List.length (Lint_trace.no_gateway_peering bad));
+  (* Violation: a gateway-to-gateway circuit with no chain to justify it. *)
+  let bad = gw_world @ [ e "nd.open" "gw/gwA@1" "U901.1 at mbx:ring/7" ] in
+  Alcotest.(check int) "chainless circuit between gateways" 1
+    (List.length (Lint_trace.no_gateway_peering bad));
+  (* Ordinary modules may open circuits to gateways, of course. *)
+  let ok = gw_world @ [ e "nd.open" "client" "U900.1 at tcp:ether/2" ] in
+  Alcotest.(check int) "apps reach gateways freely" 0
+    (List.length (Lint_trace.no_gateway_peering ok))
+
+let test_r3_recursion_depth () =
+  let entries = [ e "lcm.depth" "vax1/ns" "3"; e ~at:7 "lcm.depth" "vax1/ns" "70" ] in
+  (match Lint_trace.recursion_bounded ~limit:64 entries with
+   | [ v ] ->
+     Alcotest.(check string) "invariant" "recursion-depth" v.Lint_trace.v_invariant;
+     Alcotest.(check int) "timestamped" 7 v.Lint_trace.v_at_us
+   | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
+  Alcotest.(check int) "within bound clean" 0
+    (List.length (Lint_trace.recursion_bounded ~limit:70 entries))
+
+let test_r3_identity_conversion () =
+  let ok =
+    [
+      e "ip.convert" "vax1/a" "mode=image local=be remote=be dst=U5.1";
+      e "ip.convert" "vax1/a" "mode=packed local=be remote=le dst=U5.2";
+      e "ip.convert" "vax1/a" "mode=packed local=be remote=be dst=U5.3 forced";
+    ]
+  in
+  Alcotest.(check int) "image/equal, packed/mixed, forced all legal" 0
+    (List.length (Lint_trace.no_identity_conversion ok));
+  let bad =
+    [
+      e "ip.convert" "vax1/a" "mode=packed local=be remote=be dst=U5.1";
+      e "ip.convert" "vax1/a" "mode=image local=le remote=be dst=U5.2";
+    ]
+  in
+  Alcotest.(check int) "both degenerate modes flagged" 2
+    (List.length (Lint_trace.no_identity_conversion bad));
+  Alcotest.(check int) "check_all aggregates" 2
+    (List.length (Lint_trace.check_all ~recursion_limit:64 bad))
+
+(* --- the repo itself stays clean --- *)
+
+let test_repo_sources_clean () =
+  (* `dune build @lint` enforces this too; asserting it here keeps the
+     property visible in the unit suite (and exercises lint_paths against
+     the real tree when run from the repo root). *)
+  if Sys.file_exists "lib" && Sys.is_directory "lib" then
+    Alcotest.(check (list string)) "no violations in lib/" []
+      (diag_strings (Lint.lint_paths [ "lib" ]))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "blanking" `Quick test_blank;
+          Alcotest.test_case "nested comments" `Quick test_nested_comment;
+          Alcotest.test_case "module refs" `Quick test_module_refs;
+          Alcotest.test_case "pragma parse" `Quick test_pragma_parse;
+          Alcotest.test_case "pragma malformed" `Quick test_pragma_malformed;
+        ] );
+      ( "r1-layering",
+        [
+          Alcotest.test_case "upward reference" `Quick test_r1_upward_reference;
+          Alcotest.test_case "backend naming" `Quick test_r1_backend_naming;
+          Alcotest.test_case "conversion selection" `Quick test_r1_conversion_selection;
+        ] );
+      ( "r2-determinism",
+        [
+          Alcotest.test_case "forbidden calls" `Quick test_r2_forbidden_calls;
+          Alcotest.test_case "scope + pragma" `Quick test_r2_scope_and_pragma;
+        ] );
+      ( "r3-trace",
+        [
+          Alcotest.test_case "gateway peering" `Quick test_r3_gateway_peering;
+          Alcotest.test_case "recursion depth" `Quick test_r3_recursion_depth;
+          Alcotest.test_case "identity conversion" `Quick test_r3_identity_conversion;
+        ] );
+      ("repo", [ Alcotest.test_case "lib/ clean" `Quick test_repo_sources_clean ]);
+    ]
