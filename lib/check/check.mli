@@ -1,0 +1,25 @@
+(** ntcs_check driver: protocol-conformance static analyses plus the
+    schedule-exploration harness. *)
+
+val check_sources : Lint_lex.source list -> Lint_diag.t list
+(** Automaton self-check + {!Check_proto} + {!Check_graph}, sorted. *)
+
+val static_check : string list -> Lint_diag.t list
+(** [check_sources] over every [.ml]/[.mli] under the given paths. *)
+
+val report : Format.formatter -> Lint_diag.t list -> unit
+
+type exploration = {
+  x_scenario : string;
+  x_outcome : Ntcs_sim.Explore.outcome;
+}
+
+val explore_all : ?max_schedules:int -> unit -> exploration list
+(** Run every bounded scenario under exhaustive exploration. *)
+
+val exploration_failed : exploration -> bool
+(** Truncated (budget exhausted) or any schedule violated an invariant. *)
+
+val report_exploration : Format.formatter -> exploration -> unit
+
+val exploration_to_json : exploration list -> string

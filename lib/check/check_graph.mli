@@ -1,0 +1,26 @@
+(** Resolved cross-module call graph over lib/ sources, including
+    installed-callback ("hook") edges, with Tarjan SCC detection of
+    recursion cycles that cross the NSP→LCM boundary without a [Recursion]
+    guard — the §6.3 unbounded-resolver-re-entry bug class. *)
+
+type edge = {
+  e_src : string;  (** caller module *)
+  e_dst : string;  (** callee module *)
+  e_file : string;  (** where the edge was observed *)
+  e_line : int;
+  e_via : string;  (** "reference" or the installer pattern *)
+}
+
+val graph : Lint_lex.source list -> edge list
+(** Direct head-of-path reference edges plus hook edges: installing a
+    callback into module [S] gives [S] an edge to the installing module and
+    to every module the installed closure references. Restricted to modules
+    with a [.ml] among the given sources. *)
+
+val sccs : edge list -> string list list
+(** Strongly connected components, each sorted, the list sorted. *)
+
+val check : Lint_lex.source list -> Lint_diag.t list
+(** Flags every multi-node SCC that contains [Lcm_layer], reaches rank ≥ 5
+    (NSP or above), and nowhere references [Recursion]. Rule ["cycle"],
+    anchored at the first edge re-entering LCM from inside the cycle. *)

@@ -1,0 +1,192 @@
+(* Bounded scenarios for exhaustive schedule exploration.
+
+   Each scenario builds a small cluster from scratch (Explore reruns it once
+   per schedule), drives one protocol exchange to completion, and reports
+   every invariant violation observable from that schedule:
+
+   - the R3 trace invariants (no gateway peering, bounded recursion, no
+     identity conversion) from the PR 1 linter;
+   - the circuit-lifecycle automaton over the same trace (Check_lifecycle);
+   - simulated process crashes;
+   - the scenario's own outcome (the exchange must end the way the protocol
+     promises, on *every* schedule, not just the default one).
+
+   first_send crosses a prime gateway so chained opens, splices and
+   forwards — the interesting lifecycle traffic — actually occur. break_ns
+   is the §6.3 pathology under the LCM guard: partition the name server
+   mid-run and insist the fault stays bounded on every interleaving. *)
+
+open Ntcs
+
+type scenario = {
+  sc_name : string;
+  sc_from : int;
+  sc_until : int;
+      (* [sc_from, sc_until): the virtual-time window whose ties are
+         branched on. The world boots deterministically before it, and
+         steady-state maintenance timers (whose ties recur every period,
+         forever) run in default order after it — the window is chosen to
+         contain the whole exchange under test, so every interleaving of
+         the interesting events is still covered while the tree stays
+         finite. *)
+  sc_make : unit -> Ntcs_sim.Sched.t * (unit -> string list);
+}
+
+let payload s = Ntcs_wire.Convert.payload_raw (Bytes.of_string s)
+
+(* Echo responder; bind failures surface as violations, not exceptions. *)
+let spawn_echo c ~machine ~name errs =
+  ignore
+    (Cluster.spawn c ~machine ~name (fun node ->
+         match Commod.bind node ~name with
+         | Error e -> errs := Printf.sprintf "echo bind: %s" (Errors.to_string e) :: !errs
+         | Ok commod ->
+           let rec loop () =
+             (match Ali_layer.receive commod with
+              | Ok env ->
+                if env.Ali_layer.expects_reply then
+                  ignore
+                    (Ali_layer.reply commod env
+                       (Ntcs_wire.Convert.payload_raw
+                          (Bytes.cat (Bytes.of_string "echo:") env.Ali_layer.data)))
+              | Error _ -> ());
+             loop ()
+           in
+           loop ()))
+
+(* Everything checkable after a schedule ran. *)
+let trace_violations ?recursion_limit c =
+  let entries = Ntcs_sim.Trace.entries (Ntcs_sim.World.trace (Cluster.world c)) in
+  let r3 =
+    List.map
+      (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
+      (Lint_trace.check_all ?recursion_limit entries)
+  in
+  let lifecycle =
+    List.map
+      (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
+      (Check_lifecycle.check entries)
+  in
+  let crashes =
+    List.map
+      (fun (e : Ntcs_sim.Trace.entry) -> Printf.sprintf "process crashed: %s" e.detail)
+      (Ntcs_sim.Trace.matching (Ntcs_sim.World.trace (Cluster.world c)) ~cat:"sim.proc_crash")
+  in
+  r3 @ lifecycle @ crashes
+
+(* §6.1 first send, across a gateway: NS on the LAN, service on the ring.
+   Every schedule must deliver the echo and keep every circuit lifecycle
+   legal. *)
+let first_send =
+  let make () =
+    let c =
+      Cluster.build
+        ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan); ("ring", Ntcs_sim.Net.Mbx_ring) ]
+        ~machines:
+          [
+            ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]);
+            ("bridge", Ntcs_sim.Machine.Sun3, [ "ether"; "ring" ]);
+            ("ap1", Ntcs_sim.Machine.Apollo, [ "ring" ]);
+          ]
+        ~gateways:[ ("bridge-gw", "bridge", [ "ether"; "ring" ]) ]
+        ~ns:"vax1" ()
+    in
+    let errs = ref [] in
+    let body () =
+      Cluster.settle c;
+      spawn_echo c ~machine:"ap1" ~name:"svc" errs;
+      Cluster.settle c;
+      let outcome = ref `Not_run in
+      ignore
+        (Cluster.spawn c ~machine:"vax1" ~name:"app" (fun node ->
+             match Commod.bind node ~name:"app" with
+             | Error e -> outcome := `Err ("bind: " ^ Errors.to_string e)
+             | Ok commod -> (
+               match Ali_layer.locate commod "svc" with
+               | Error e -> outcome := `Err ("locate: " ^ Errors.to_string e)
+               | Ok addr -> (
+                 match Ali_layer.send_sync commod ~dst:addr (payload "first") with
+                 | Error e -> outcome := `Err ("send_sync: " ^ Errors.to_string e)
+                 | Ok env -> outcome := `Reply (Bytes.to_string env.Ali_layer.data)))));
+      Cluster.settle ~dt:30_000_000 c;
+      let outcome_errs =
+        match !outcome with
+        | `Reply "echo:first" -> []
+        | `Reply other -> [ Printf.sprintf "wrong reply %S" other ]
+        | `Err e -> [ Printf.sprintf "first send failed: %s" e ]
+        | `Not_run -> [ "app never completed" ]
+      in
+      !errs @ outcome_errs @ trace_violations c
+    in
+    (Cluster.sched c, body)
+  in
+  (* The exchange (locate, chained open, splice, echo, teardown) completes
+     well before t=4.05s; later ties are 3s-periodic maintenance. *)
+  { sc_name = "first-send"; sc_from = 4_000_000; sc_until = 4_050_000; sc_make = make }
+
+(* §6.3 circuit break under the LCM guard: the name server is partitioned
+   away mid-run; a fresh lookup must fail cleanly — bounded recursion, no
+   crash — on every interleaving of the teardown. *)
+let break_ns =
+  let make () =
+    let tweak cfg = { cfg with Node.ns_fault_guard = true; recursion_limit = 40 } in
+    let c =
+      Cluster.build ~tweak
+        ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
+        ~machines:
+          [
+            ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]);
+            ("sun1", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+            ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+          ]
+        ~ns:"vax1" ()
+    in
+    let errs = ref [] in
+    let body () =
+      Cluster.settle c;
+      spawn_echo c ~machine:"sun1" ~name:"svc" errs;
+      Cluster.settle c;
+      let outcome = ref `Not_run in
+      ignore
+        (Cluster.spawn c ~machine:"sun2" ~name:"app" (fun node ->
+             match Commod.bind node ~name:"app" with
+             | Error e -> outcome := `Err ("bind: " ^ Errors.to_string e)
+             | Ok commod -> (
+               match Ali_layer.locate commod "svc" with
+               | Error e -> outcome := `Err ("locate svc: " ^ Errors.to_string e)
+               | Ok _ -> (
+                 Ntcs_sim.Sched.sleep (Node.sched node) 4_000_000;
+                 match Ali_layer.locate commod "never-seen" with
+                 | Ok _ -> outcome := `Resolved
+                 | Error e -> outcome := `Failed e))));
+      Ntcs_sim.Sched.after (Cluster.sched c) 2_000_000 (fun () -> Cluster.partition c "ether");
+      Cluster.settle ~dt:60_000_000 c;
+      let outcome_errs =
+        match !outcome with
+        | `Failed
+            ( Errors.Name_service_unavailable | Errors.Timeout | Errors.Circuit_failed
+            | Errors.Unreachable ) ->
+          []
+        | `Failed e -> [ Printf.sprintf "unexpected error: %s" (Errors.to_string e) ]
+        | `Resolved -> [ "lookup cannot succeed while partitioned" ]
+        | `Err e -> [ e ]
+        | `Not_run -> [ "app never finished (recursion hang?)" ]
+      in
+      let guard_errs =
+        if Ntcs_util.Metrics.get (Cluster.metrics c) "lcm.ns_guard_hits" > 0 then []
+        else [ "guard never engaged" ]
+      in
+      !errs @ outcome_errs @ guard_errs @ trace_violations ~recursion_limit:40 c
+    in
+    (Cluster.sched c, body)
+  in
+  (* Window covers the partition (t=6s), the app's wake (t=8s) and the
+     whole fault exchange; the tree is small enough to leave it wide. *)
+  { sc_name = "break-ns"; sc_from = 4_000_000; sc_until = 64_000_000; sc_make = make }
+
+let all = [ first_send; break_ns ]
+
+let explore ?max_schedules sc =
+  Ntcs_sim.Explore.run ?max_schedules
+    ~branch:(fun ~time ~owners:_ -> time >= sc.sc_from && time < sc.sc_until)
+    ~make:sc.sc_make ()

@@ -1,0 +1,24 @@
+(** Bounded scenarios for exhaustive schedule exploration: each builds a
+    small cluster, drives one protocol exchange, and reports R3 trace
+    invariants, lifecycle-automaton conformance, process crashes and the
+    exchange's own outcome as that schedule's violations. *)
+
+type scenario = {
+  sc_name : string;
+  sc_from : int;
+  sc_until : int;
+      (** ties inside [[sc_from, sc_until)] are branched on; the boot
+          before and the steady-state maintenance after run in default
+          order *)
+  sc_make : unit -> Ntcs_sim.Sched.t * (unit -> string list);
+}
+
+val first_send : scenario
+(** §6.1 first send across a prime gateway (chained open + splice). *)
+
+val break_ns : scenario
+(** §6.3 name-server partition under the LCM guard. *)
+
+val all : scenario list
+
+val explore : ?max_schedules:int -> scenario -> Ntcs_sim.Explore.outcome

@@ -143,6 +143,12 @@ let handle_open t (in_net : Net.id) (in_commod : Commod.t) in_circuit (h : Proto
            send_reject in_commod in_circuit ~h (Errors.to_string e))))
 
 let remove_splice_pair t in_key (out_leg : leg) =
+  (* Traced so the lifecycle checker (ntcs_check) can prove no frame is ever
+     forwarded across a splice after its teardown (§4.3 ordering). *)
+  let in_net, _, in_label = in_key in
+  trace t ~cat:"gw.close"
+    (Printf.sprintf "net%d label %d <-> net%d label %d" in_net in_label out_leg.lg_net
+       out_leg.lg_label);
   Hashtbl.remove t.splices in_key;
   Hashtbl.remove t.splices (leg_key out_leg.lg_net out_leg.lg_circuit out_leg.lg_label)
 

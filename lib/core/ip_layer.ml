@@ -187,6 +187,8 @@ let open_chained t ~dst ~hops ~first_phys =
            ~src_order:(Node.my_order t.node) ~ivc:label ~payload_len:0 ()
        in
        Ntcs_util.Metrics.incr (metrics t) "ip.ivc_open_sent";
+       trace t ~cat:"ip.ivc_open_sent"
+         (Printf.sprintf "label %d to %s" label (Addr.to_string dst));
        (match Nd_layer.send_frame circuit header body with
         | Error _ as e ->
           Hashtbl.remove t.pending label;
@@ -216,8 +218,8 @@ let open_chained t ~dst ~hops ~first_phys =
               }
             in
             register_ivc t ivc;
-            trace t ~cat:"ip.ivc_open" (Printf.sprintf "to %s via %d hop(s)"
-                                          (Addr.to_string dst) (List.length hops));
+            trace t ~cat:"ip.ivc_open" (Printf.sprintf "to %s via %d hop(s) label %d"
+                                          (Addr.to_string dst) (List.length hops) label);
             Ok ivc)))
 
 (* Open an IVC to [dst]: ask the routing oracle whether it is local or
@@ -306,6 +308,10 @@ let send t ivc ~kind ?(seq = 0) ?(conv = 0) ?(app_tag = 0) (payload : Convert.pa
 let close_ivc t ivc ~reason =
   if ivc.i_open then begin
     ivc.i_open <- false;
+    if ivc.label <> 0 then
+      trace t ~cat:"ip.ivc_close"
+        (Printf.sprintf "label %d peer %s local reason=%s" ivc.label
+           (Addr.to_string ivc.peer) reason);
     if ivc.label <> 0 && ivc.circuit.Nd_layer.c_open then begin
       let header =
         Proto.make_header ~kind:Proto.Ivc_close ~src:(Nd_layer.my_addr t.nd) ~dst:ivc.peer
@@ -414,6 +420,8 @@ let handle_event t (ev : Nd_layer.event) =
         ivc.i_open <- false;
         unregister_ivc t ivc;
         Ntcs_util.Metrics.incr (metrics t) "ip.ivc_closed_remote";
+        trace t ~cat:"ip.ivc_close"
+          (Printf.sprintf "label %d peer %s remote" ivc.label (Addr.to_string ivc.peer));
         Down [ ivc.peer ]
     end
     else if Nd_layer.is_me t.nd h.Proto.dst then begin
@@ -460,6 +468,7 @@ let handle_event t (ev : Nd_layer.event) =
         match Hashtbl.find_opt t.pending h.Proto.ivc with
         | None -> Consumed
         | Some ivar ->
+          trace t ~cat:"ip.ivc_reject" (Printf.sprintf "label %d" h.Proto.ivc);
           ignore (Sched.Ivar.try_fill ivar (Error Errors.Unreachable));
           Consumed)
       | Proto.Ivc_close -> (
@@ -469,6 +478,8 @@ let handle_event t (ev : Nd_layer.event) =
           ivc.i_open <- false;
           unregister_ivc t ivc;
           Ntcs_util.Metrics.incr (metrics t) "ip.ivc_closed_remote";
+          trace t ~cat:"ip.ivc_close"
+            (Printf.sprintf "label %d peer %s remote" ivc.label (Addr.to_string ivc.peer));
           Down [ ivc.peer ])
       | Proto.Hello | Proto.Hello_ack -> Consumed (* handshake residue; ignore *)
       | Proto.Data | Proto.Dgram | Proto.Reply | Proto.Ping | Proto.Pong ->

@@ -31,3 +31,38 @@ let lint_paths paths =
 
 let report ppf diags =
   List.iter (fun d -> Format.fprintf ppf "%a@." Lint_diag.pp d) diags
+
+(* --- pragma audit (--pragmas) --- *)
+
+(* Every active escape hatch, in (file, line) order: suppressions must stay
+   auditable, or the allowlist quietly becomes the rule. *)
+let pragmas_in_paths paths =
+  List.concat_map
+    (fun file ->
+      let ps, _ = Lint_lex.pragmas (Lint_lex.load file) in
+      List.map (fun (p : Lint_lex.pragma) -> (file, p)) ps)
+    (source_files paths)
+
+let pp_pragma ppf (file, (p : Lint_lex.pragma)) =
+  Format.fprintf ppf "%s:%d: allow%s %s%s \xe2\x80\x94 %s" file p.Lint_lex.p_line
+    (if p.Lint_lex.p_file_scope then "-file" else "")
+    p.Lint_lex.p_rule
+    (match p.Lint_lex.p_arg with Some a -> "(" ^ a ^ ")" | None -> "")
+    p.Lint_lex.p_reason
+
+let report_pragmas ppf entries =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_pragma e) entries
+
+let pragmas_to_json entries =
+  let one (file, (p : Lint_lex.pragma)) =
+    Printf.sprintf
+      "{\"file\":\"%s\",\"line\":%d,\"scope\":\"%s\",\"rule\":\"%s\",\"arg\":%s,\"reason\":\"%s\"}"
+      (Lint_diag.json_escape file) p.Lint_lex.p_line
+      (if p.Lint_lex.p_file_scope then "file" else "line")
+      (Lint_diag.json_escape p.Lint_lex.p_rule)
+      (match p.Lint_lex.p_arg with
+       | Some a -> "\"" ^ Lint_diag.json_escape a ^ "\""
+       | None -> "null")
+      (Lint_diag.json_escape p.Lint_lex.p_reason)
+  in
+  "[" ^ String.concat "," (List.map one entries) ^ "]"

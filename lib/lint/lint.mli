@@ -16,3 +16,13 @@ val lint_paths : string list -> Lint_diag.t list
 
 val report : Format.formatter -> Lint_diag.t list -> unit
 (** One [file:line: [rule] message] per line. *)
+
+val pragmas_in_paths : string list -> (string * Lint_lex.pragma) list
+(** Every well-formed [lint: allow] pragma under the given paths, in
+    deterministic (file, line) order — the audit feed for
+    [ntcs_lint --pragmas]. *)
+
+val report_pragmas : Format.formatter -> (string * Lint_lex.pragma) list -> unit
+(** One [file:line: allow[-file] rule(arg) — reason] per line. *)
+
+val pragmas_to_json : (string * Lint_lex.pragma) list -> string

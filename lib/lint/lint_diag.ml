@@ -21,3 +21,28 @@ let sort ds = List.sort_uniq compare ds
 let pp ppf d = Format.fprintf ppf "%s:%d: [%s] %s" d.file d.line d.rule d.msg
 
 let to_string d = Format.asprintf "%a" pp d
+
+(* Minimal JSON string escaping: enough for paths, rule names and messages
+   (which may quote source text). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"msg\":\"%s\"}"
+    (json_escape d.file) d.line (json_escape d.rule) (json_escape d.msg)
+
+(* The whole report as one JSON array, sorted: stable output for CI diffing. *)
+let list_to_json ds =
+  "[" ^ String.concat "," (List.map to_json (sort ds)) ^ "]"

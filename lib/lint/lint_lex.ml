@@ -136,6 +136,7 @@ type pragma = {
   p_file_scope : bool;
   p_rule : string;
   p_arg : string option;
+  p_reason : string;
 }
 
 let em_dash = "\xe2\x80\x94"
@@ -283,7 +284,15 @@ let parse_tail ~file_scope ~line ~file rest =
         Error
           (Lint_diag.make ~file ~line ~rule:"pragma"
              "malformed pragma: missing reason after the separator")
-      else Ok { p_line = line; p_file_scope = file_scope; p_rule = rule; p_arg = arg }
+      else
+        Ok
+          {
+            p_line = line;
+            p_file_scope = file_scope;
+            p_rule = rule;
+            p_arg = arg;
+            p_reason = String.trim reason;
+          }
     end
   end
 

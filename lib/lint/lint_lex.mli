@@ -42,6 +42,7 @@ type pragma = {
   p_file_scope : bool;
   p_rule : string;  (** ["layering"] or ["determinism"] *)
   p_arg : string option;  (** restricts the pragma to one module/pattern *)
+  p_reason : string;  (** mandatory justification, for the audit listing *)
 }
 
 val pragmas : source -> pragma list * Lint_diag.t list

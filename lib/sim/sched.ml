@@ -41,9 +41,11 @@ type t = {
   mutable live_count : int;
   mutable event_count : int;
   mutable max_events : int; (* 0 = unlimited *)
+  mutable exec_owner : int; (* owner of the event whose thunk is running *)
+  mutable chooser : (time:int -> owners:int array -> int) option;
 }
 
-and event = { time : int; seq : int; thunk : unit -> unit }
+and event = { time : int; seq : int; owner : int; thunk : unit -> unit }
 
 and proc = {
   pid : pid;
@@ -81,17 +83,32 @@ let create () =
     live_count = 0;
     event_count = 0;
     max_events = 0;
+    exec_owner = 0;
+    chooser = None;
   }
 
 let now t = t.now
 
 let set_event_limit t n = t.max_events <- n
 
-let at t time thunk =
+let set_chooser t f = t.chooser <- f
+
+(* Every event is tagged with the pid of the process whose progress it
+   represents: schedule-exploration (Explore) may reorder same-time events
+   across owners but never within one owner, which preserves program order
+   and per-flow FIFO delivery (both are scheduled by the sending process in
+   order). Events scheduled outside any process inherit the owner of the
+   event being executed, so e.g. a delivery thunk's wakes belong to the
+   process it wakes, not to limbo. *)
+let at_owned t ~owner time thunk =
   let time = if time < t.now then t.now else time in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Ntcs_util.Heap.push t.events { time; seq; thunk }
+  Ntcs_util.Heap.push t.events { time; seq; owner; thunk }
+
+let at t time thunk =
+  let owner = match t.current with Some p -> p.pid | None -> t.exec_owner in
+  at_owned t ~owner time thunk
 
 let after t delay thunk = at t (t.now + delay) thunk
 
@@ -165,7 +182,7 @@ let wake w =
   match proc.state with
   | Suspended s when s.susp_id = w.w_susp_id ->
     proc.state <- Queued { qk = s.k; kind = Resume_value };
-    at proc.sched proc.sched.now (fun () -> resume_proc proc)
+    at_owned proc.sched ~owner:proc.pid proc.sched.now (fun () -> resume_proc proc)
   | Embryo _ | Running | Suspended _ | Queued _ | Dead -> ()
 
 let spawn ?(name = "proc") ?(at_time = -1) t f =
@@ -177,7 +194,7 @@ let spawn ?(name = "proc") ?(at_time = -1) t f =
   Hashtbl.replace t.procs pid proc;
   t.live_count <- t.live_count + 1;
   let start_time = if at_time < 0 then t.now else at_time in
-  at t start_time (fun () ->
+  at_owned t ~owner:pid start_time (fun () ->
       match proc.state with
       | Embryo body -> start_proc proc body
       | Dead -> () (* killed before it ever ran *)
@@ -207,7 +224,7 @@ let kill t pid =
       finish proc Was_killed
     | Suspended s ->
       proc.state <- Queued { qk = s.k; kind = Resume_exn Killed };
-      at t t.now (fun () -> resume_proc proc)
+      at_owned t ~owner:pid t.now (fun () -> resume_proc proc)
     | Queued q -> q.kind <- Resume_exn Killed
     | Running ->
       (* Only the process itself can be Running when kill is called (the
@@ -236,16 +253,59 @@ let yield t = sleep t 0
 
 (* --- scheduler loop --- *)
 
+let exec_event t ev =
+  assert (ev.time >= t.now);
+  t.now <- ev.time;
+  t.event_count <- t.event_count + 1;
+  if t.max_events > 0 && t.event_count > t.max_events then raise Event_limit_exceeded;
+  let saved = t.exec_owner in
+  t.exec_owner <- ev.owner;
+  Fun.protect ~finally:(fun () -> t.exec_owner <- saved) ev.thunk
+
 let step t =
-  match Ntcs_util.Heap.pop t.events with
-  | None -> false
-  | Some ev ->
-    assert (ev.time >= t.now);
-    t.now <- ev.time;
-    t.event_count <- t.event_count + 1;
-    if t.max_events > 0 && t.event_count > t.max_events then raise Event_limit_exceeded;
-    ev.thunk ();
-    true
+  match t.chooser with
+  | None -> (
+    match Ntcs_util.Heap.pop t.events with
+    | None -> false
+    | Some ev ->
+      exec_event t ev;
+      true)
+  | Some choose -> (
+    (* Exploration mode: collect every event due at the minimum time, group
+       them by owner (heap order keeps each owner's events in seq order), and
+       let the chooser pick which owner makes progress. Only the chosen
+       owner's *first* event runs; everything else goes back on the heap with
+       its original key, so per-owner order is untouched. With a chooser that
+       always answers 0 this is byte-for-byte the default schedule. *)
+    match Ntcs_util.Heap.pop t.events with
+    | None -> false
+    | Some first ->
+      let rec gather acc =
+        match Ntcs_util.Heap.peek t.events with
+        | Some ev when ev.time = first.time ->
+          ignore (Ntcs_util.Heap.pop t.events);
+          gather (ev :: acc)
+        | _ -> List.rev acc
+      in
+      let batch = first :: gather [] in
+      let owners =
+        List.fold_left
+          (fun acc ev -> if List.mem ev.owner acc then acc else acc @ [ ev.owner ])
+          [] batch
+      in
+      let chosen_owner =
+        match owners with
+        | [ o ] -> o
+        | os ->
+          let arr = Array.of_list os in
+          let i = choose ~time:first.time ~owners:arr in
+          let i = if i < 0 || i >= Array.length arr then 0 else i in
+          arr.(i)
+      in
+      let ev = List.find (fun e -> e.owner = chosen_owner) batch in
+      List.iter (fun e -> if e != ev then Ntcs_util.Heap.push t.events e) batch;
+      exec_event t ev;
+      true)
 
 let run ?until t =
   let continue_ () =

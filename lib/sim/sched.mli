@@ -39,6 +39,16 @@ val set_event_limit : t -> int -> unit
 (** Abort the run with {!Event_limit_exceeded} after this many events
     (0 = unlimited). A backstop for runaway-recursion experiments. *)
 
+val set_chooser : t -> (time:int -> owners:int array -> int) option -> unit
+(** Schedule-exploration hook (see {!Explore}). When set, every scheduler
+    step collects all events due at the minimum virtual time, groups them by
+    owning process, and asks the chooser which owner runs next (it returns
+    an index into [owners]; out-of-range answers clamp to 0). The chooser is
+    only consulted when more than one owner is runnable; per-owner event
+    order is always preserved, so program order and per-flow FIFO delivery
+    hold on every explored schedule. [None] (the default) restores the plain
+    deterministic (time, seq) order. *)
+
 (** {1 Timers} *)
 
 val at : t -> int -> (unit -> unit) -> unit

@@ -228,6 +228,58 @@ let test_payload_forcing () =
   Alcotest.(check (pair int int)) "no needless conversions" (1, 1)
     (!image_calls, !packed_calls)
 
+(* --- shift-mode headers across every machine-type pair --- *)
+
+let test_header_roundtrip_all_machine_pairs () =
+  (* The NTCS header travels in shift mode, so it must survive any
+     (sender, receiver) combination of machine types — including the mode
+     byte that the pair itself determines — for every message kind. *)
+  let mtypes = [ Ntcs_sim.Machine.Vax; Ntcs_sim.Machine.Sun3; Ntcs_sim.Machine.Apollo ] in
+  let order_of m =
+    match Ntcs_sim.Machine.byte_order m with
+    | Ntcs_sim.Machine.Little_endian -> Endian.Le
+    | Ntcs_sim.Machine.Big_endian -> Endian.Be
+  in
+  let repr_of m =
+    { Convert.repr_name = Ntcs_sim.Machine.mtype_to_string m; order = order_of m }
+  in
+  let kinds =
+    [
+      Ntcs.Proto.Data; Ntcs.Proto.Dgram; Ntcs.Proto.Reply; Ntcs.Proto.Hello;
+      Ntcs.Proto.Hello_ack; Ntcs.Proto.Ivc_open; Ntcs.Proto.Ivc_accept;
+      Ntcs.Proto.Ivc_reject; Ntcs.Proto.Ivc_close; Ntcs.Proto.Ping; Ntcs.Proto.Pong;
+    ]
+  in
+  List.iter
+    (fun sender ->
+      List.iter
+        (fun receiver ->
+          let pair =
+            Ntcs_sim.Machine.mtype_to_string sender ^ "->"
+            ^ Ntcs_sim.Machine.mtype_to_string receiver
+          in
+          List.iter
+            (fun kind ->
+              let h =
+                Ntcs.Proto.make_header ~kind
+                  ~src:(Ntcs.Addr.unique ~server_id:7 ~value:0xABCD)
+                  ~dst:(Ntcs.Addr.temporary ~assigner:3 ~value:99)
+                  ~mode:(Convert.choose ~src:(repr_of sender) ~dst:(repr_of receiver))
+                  ~src_order:(order_of sender) ~hops:2 ~seq:0x7FFF ~conv:41 ~app_tag:5
+                  ~ivc:123 ~payload_len:17 ()
+              in
+              let b = Ntcs.Proto.encode_header h in
+              Alcotest.(check int)
+                (pair ^ " header size")
+                Ntcs.Proto.header_bytes (Bytes.length b);
+              let h' = Ntcs.Proto.decode_header b in
+              Alcotest.(check bool)
+                (pair ^ " " ^ Ntcs.Proto.kind_to_string kind ^ " roundtrip")
+                true (h' = h))
+            kinds)
+        mtypes)
+    mtypes
+
 let () =
   Alcotest.run "ntcs_wire"
     [
@@ -259,6 +311,8 @@ let () =
           Alcotest.test_case "order free" `Quick test_shift_is_order_free;
           Alcotest.test_case "errors" `Quick test_shift_errors;
           Alcotest.test_case "bitfields" `Quick test_bitfields;
+          Alcotest.test_case "headers across all machine pairs" `Quick
+            test_header_roundtrip_all_machine_pairs;
         ] );
       ( "convert",
         [
