@@ -31,7 +31,7 @@ let spawn_echo cluster ~machine ~name =
          | Ok commod ->
            let rec loop () =
              (match Ali_layer.receive commod with
-              | Ok env when env.Ali_layer.expects_reply ->
+              | Ok env when Ali_layer.expects_reply env ->
                 ignore (Ali_layer.reply commod env (raw "ok"))
               | Ok _ | Error _ -> ());
              loop ()
@@ -212,7 +212,7 @@ let e4_reconfig () =
               (match Ali_layer.receive commod with
                | Ok env ->
                  incr received;
-                 if env.Ali_layer.expects_reply then
+                 if Ali_layer.expects_reply env then
                    ignore (Ali_layer.reply commod env (raw "ok"))
                | Error _ -> ());
               loop ()
@@ -370,7 +370,7 @@ let e6_adaptive () =
         (fun commod ->
           let rec loop () =
             (match Ali_layer.receive commod with
-             | Ok env when env.Ali_layer.expects_reply ->
+             | Ok env when Ali_layer.expects_reply env ->
                ignore (Ali_layer.reply commod env (raw "ok"))
              | Ok _ | Error _ -> ());
             loop ()

@@ -4,6 +4,7 @@
           ntcs_check --json [PATH]...        same, JSON report on stdout
           ntcs_check --static-only [PATH]... skip schedule exploration
           ntcs_check --budget N              schedule cap per scenario
+          ntcs_check --faults                fault-plane soak scenarios only
 
    Static half: the lifecycle automaton's handler-exhaustiveness check
    against proto.ml/ns_proto.ml, and the cross-module recursion-cycle
@@ -22,29 +23,49 @@ let check_paths paths =
     Error 2
   | [] -> Ok paths
 
-let run static_only json budget paths =
-  match check_paths paths with
-  | Error c -> c
-  | Ok paths ->
-    let diags = Check.static_check paths in
-    let explorations = if static_only then [] else Check.explore_all ~max_schedules:budget () in
-    let dynamic_bad = List.exists Check.exploration_failed explorations in
-    if json then begin
-      Format.printf "{\"static\":%s,\"dynamic\":%s}@."
-        (Lint_diag.list_to_json diags)
-        (Check.exploration_to_json explorations)
-    end
-    else begin
-      Check.report Format.std_formatter diags;
-      List.iter (Check.report_exploration Format.std_formatter) explorations;
-      if diags = [] && not dynamic_bad then
-        Format.printf "ntcs_check: %d file(s) conformant%s@."
-          (List.length (Lint.source_files paths))
-          (if static_only then "" else ", all explored schedules clean")
-      else Format.printf "ntcs_check: %d static finding(s)%s@." (List.length diags)
-          (if dynamic_bad then ", exploration failures" else "")
-    end;
-    if diags = [] && not dynamic_bad then 0 else 1
+(* The fault-plane soak: explore the Check_scenarios.faults list under a
+   budget. Truncation is expected (retry timers breed ties forever); each
+   scenario must instead complete at least [min_schedules] failure-free
+   schedules. *)
+let run_faults json budget min_schedules =
+  let explorations = Check.explore_faults ~max_schedules:budget () in
+  let bad = List.exists (Check.fault_exploration_failed ~min_schedules) explorations in
+  if json then
+    Format.printf "{\"faults\":%s}@." (Check.exploration_to_json explorations)
+  else begin
+    List.iter (Check.report_exploration Format.std_formatter) explorations;
+    if bad then Format.printf "ntcs_check: fault soak failures@."
+    else
+      Format.printf "ntcs_check: fault soak clean (>= %d schedules per scenario)@."
+        min_schedules
+  end;
+  if bad then 1 else 0
+
+let run static_only faults json budget min_schedules paths =
+  if faults then run_faults json budget min_schedules
+  else
+    match check_paths paths with
+    | Error c -> c
+    | Ok paths ->
+      let diags = Check.static_check paths in
+      let explorations = if static_only then [] else Check.explore_all ~max_schedules:budget () in
+      let dynamic_bad = List.exists Check.exploration_failed explorations in
+      if json then begin
+        Format.printf "{\"static\":%s,\"dynamic\":%s}@."
+          (Lint_diag.list_to_json diags)
+          (Check.exploration_to_json explorations)
+      end
+      else begin
+        Check.report Format.std_formatter diags;
+        List.iter (Check.report_exploration Format.std_formatter) explorations;
+        if diags = [] && not dynamic_bad then
+          Format.printf "ntcs_check: %d file(s) conformant%s@."
+            (List.length (Lint.source_files paths))
+            (if static_only then "" else ", all explored schedules clean")
+        else Format.printf "ntcs_check: %d static finding(s)%s@." (List.length diags)
+            (if dynamic_bad then ", exploration failures" else "")
+      end;
+      if diags = [] && not dynamic_bad then 0 else 1
 
 let paths_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc:"Files or directories to check.")
@@ -58,13 +79,32 @@ let static_arg =
     & info [ "static-only" ]
         ~doc:"Run only the source-level analyses; skip schedule exploration.")
 
+let faults_arg =
+  Arg.(
+    value & flag
+    & info [ "faults" ]
+        ~doc:
+          "Run only the fault-injection soak scenarios (deterministic \
+           fault plane armed). Truncation at the budget is acceptable; \
+           each scenario must instead complete the minimum number of \
+           failure-free schedules.")
+
 let budget_arg =
   Arg.(
     value & opt int 4000
     & info [ "budget" ] ~docv:"N"
         ~doc:
-          "Maximum schedules to explore per scenario. Hitting the cap counts \
-           as a failure (the exploration must be exhaustive).")
+          "Maximum schedules to explore per scenario. Without $(b,--faults), \
+           hitting the cap counts as a failure (the exploration must be \
+           exhaustive).")
+
+let min_schedules_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "min-schedules" ] ~docv:"N"
+        ~doc:
+          "With $(b,--faults): the minimum failure-free schedules each soak \
+           scenario must complete.")
 
 let cmd =
   let doc = "check circuit-lifecycle conformance and recursion cycles" in
@@ -82,6 +122,8 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "ntcs_check" ~doc ~man)
-    Term.(const run $ static_arg $ json_arg $ budget_arg $ paths_arg)
+    Term.(
+      const run $ static_arg $ faults_arg $ json_arg $ budget_arg $ min_schedules_arg
+      $ paths_arg)
 
 let () = exit (Cmd.eval' cmd)

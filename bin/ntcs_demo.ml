@@ -1,14 +1,14 @@
 (* Scriptable scenario runner: builds the two-network reference installation
    and narrates what the NTCS does while modules talk, relocate and fail.
 
-   Usage: dune exec bin/ntcs_demo.exe -- [--trace] [--seed N] *)
+   Usage: dune exec bin/ntcs_demo.exe -- [--trace] [--seed N] [--faults] *)
 
 open Cmdliner
 open Ntcs
 
 let raw s = Ntcs_wire.Convert.payload_raw (Bytes.of_string s)
 
-let scenario ~trace ~filter ~seed =
+let scenario ~trace ~filter ~seed ~faults =
   let cluster =
     Cluster.build ~seed
       ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan); ("ring", Ntcs_sim.Net.Mbx_ring) ]
@@ -26,8 +26,29 @@ let scenario ~trace ~filter ~seed =
      important" — restrict the trace to the requested categories. *)
   if filter <> [] then
     Ntcs_sim.Trace.set_filter (Ntcs_sim.World.trace (Cluster.world cluster)) filter;
+  (* --faults: arm the deterministic fault plane — lossy/duplicating/slow
+     links while the calls run, and the worker's ring partitioned away for
+     4s mid-conversation. Every injection draws from the plane's seeded
+     stream, so the same --seed narrates the same failures. *)
+  if faults then
+    Ntcs_sim.World.install_faults (Cluster.world cluster)
+      (Ntcs_sim.Faults.create
+         ~rules:
+           [
+             Ntcs_sim.Faults.rule ~from_us:4_000_000 ~until_us:30_000_000 ~drop:0.05
+               ~dup:0.05 ~delay:0.2 ~delay_us:30_000 ();
+           ]
+         ~schedule:
+           [
+             (5_000_000, Ntcs_sim.Faults.Partition [ [ "ap1" ]; [ "vax1"; "bridge"; "sun1" ] ]);
+             (9_000_000, Ntcs_sim.Faults.Heal);
+           ]
+         ~seed ());
   Cluster.settle cluster;
   print_endline "== NTCS demo: ethernet + apollo ring, one gateway, NS on vax1 ==";
+  if faults then
+    Printf.printf
+      "== fault plane armed (seed %d): lossy links 4-30s, ring partitioned 5-9s ==\n" seed;
   let pctl = Ntcs_drts.Process_ctl.create cluster in
   let spec tag =
     {
@@ -37,7 +58,7 @@ let scenario ~trace ~filter ~seed =
         (fun commod ->
           let rec loop () =
             (match Ali_layer.receive commod with
-             | Ok env when env.Ali_layer.expects_reply ->
+             | Ok env when Ali_layer.expects_reply env ->
                ignore (Ali_layer.reply commod env (raw (tag ^ " says hello")))
              | Ok _ | Error _ -> ());
             loop ()
@@ -47,6 +68,7 @@ let scenario ~trace ~filter ~seed =
   in
   let managed = Ntcs_drts.Process_ctl.start pctl (spec "worker@ring") ~machine:"ap1" in
   Cluster.settle ~dt:5_000_000 cluster;
+  let driver_stats = ref None in
   ignore
     (Cluster.spawn cluster ~machine:"sun1" ~name:"driver" (fun node ->
          match Commod.bind node ~name:"driver" with
@@ -66,7 +88,8 @@ let scenario ~trace ~filter ~seed =
                   Printf.printf "[t=%7dus] call %d -> error %s\n" (Node.now node) i
                     (Errors.to_string e));
                Ntcs_sim.Sched.sleep (Node.sched node) 2_000_000
-             done)));
+             done;
+             driver_stats := Some (Ali_layer.stats commod))));
   Ntcs_sim.Sched.after (Cluster.sched cluster) 7_000_000 (fun () ->
       print_endline "[operator] relocating worker from the ring to the ethernet...";
       ignore
@@ -82,6 +105,17 @@ let scenario ~trace ~filter ~seed =
     (Ntcs_util.Metrics.get m "lcm.addr_faults")
     (Ntcs_util.Metrics.get m "lcm.relocations")
     (Ntcs_util.Metrics.get m "tadd.purged");
+  (* The driver's own recovery counters from [Ali_layer.stats]: how hard the
+     LCM retry policy had to work on its behalf. *)
+  (match !driver_stats with
+   | None -> ()
+   | Some s ->
+     Printf.printf "driver recovery: retries=%d backoff=%dus reestablished=[%s]\n"
+       s.Lcm_layer.st_retries s.Lcm_layer.st_backoff_us
+       (String.concat "; "
+          (List.map
+             (fun (a, n) -> Printf.sprintf "%s x%d" a n)
+             s.Lcm_layer.st_reestablished)));
   if trace then begin
     print_endline "\n-- full protocol trace --";
     Ntcs_sim.Trace.dump Format.std_formatter (Ntcs_sim.World.trace (Cluster.world cluster))
@@ -96,8 +130,16 @@ let () =
              ~doc:"Only record these trace categories (repeatable), e.g. lcm.fault, gw.splice.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"World seed.") in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Arm the deterministic fault plane: lossy links plus a timed \
+             partition of the worker's network. Same --seed, same failures.")
+  in
   let term =
-    Term.(const (fun trace filter seed -> scenario ~trace ~filter ~seed)
-          $ trace $ filter $ seed)
+    Term.(const (fun trace filter seed faults -> scenario ~trace ~filter ~seed ~faults)
+          $ trace $ filter $ seed $ faults)
   in
   exit (Cmd.eval' (Cmd.v (Cmd.info "ntcs_demo" ~doc:"Narrated NTCS scenario.") term))

@@ -39,7 +39,7 @@ let () =
             | Ok commod ->
               let rec loop () =
                 (match Ali_layer.receive commod with
-                 | Ok env when env.Ali_layer.expects_reply ->
+                 | Ok env when Ali_layer.expects_reply env ->
                    ignore (Ali_layer.reply commod env (raw "pong"))
                  | _ -> ());
                 loop ()

@@ -36,7 +36,7 @@ let () =
                 let text = Bytes.to_string env.Ali_layer.data in
                 Printf.printf "[greeter] got %S from %s\n" text
                   (Addr.to_string env.Ali_layer.src);
-                if env.Ali_layer.expects_reply then
+                if Ali_layer.expects_reply env then
                   ignore (Ali_layer.reply commod env (raw ("hello, " ^ text)))
               | Error _ -> ());
              serve ()

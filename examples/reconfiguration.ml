@@ -20,7 +20,7 @@ let version_spec tag =
         let n = ref 0 in
         let rec loop () =
           (match Ali_layer.receive commod with
-           | Ok env when env.Ali_layer.expects_reply ->
+           | Ok env when Ali_layer.expects_reply env ->
              incr n;
              let quote = Printf.sprintf "URSA @ %d.%02d (%s #%d)" (40 + !n) (7 * !n mod 100) tag !n in
              ignore (Ali_layer.reply commod env (raw quote))

@@ -32,6 +32,25 @@ let explore_all ?max_schedules () =
 let exploration_failed x =
   x.x_outcome.Ntcs_sim.Explore.truncated || x.x_outcome.Ntcs_sim.Explore.failures <> []
 
+(* --- fault-plane soaks ---
+
+   Same explorer, different contract: the fault scenarios' schedule trees
+   are effectively unbounded (retry timers keep breeding same-time ties),
+   so truncation is expected. What the soak demands is volume and silence:
+   at least [min_schedules] schedules ran, and none of them produced a
+   violation. *)
+
+let explore_faults ?max_schedules () =
+  List.map
+    (fun sc ->
+      { x_scenario = sc.Check_scenarios.sc_name; x_outcome = Check_scenarios.explore ?max_schedules sc })
+    Check_scenarios.faults
+
+let fault_exploration_failed ?(min_schedules = 100) x =
+  let o = x.x_outcome in
+  o.Ntcs_sim.Explore.failures <> []
+  || (o.Ntcs_sim.Explore.truncated && o.Ntcs_sim.Explore.schedules < min_schedules)
+
 let report_exploration ppf x =
   Format.fprintf ppf "%s: %a@." x.x_scenario Ntcs_sim.Explore.pp_outcome x.x_outcome;
   List.iter

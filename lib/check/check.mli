@@ -20,6 +20,13 @@ val explore_all : ?max_schedules:int -> unit -> exploration list
 val exploration_failed : exploration -> bool
 (** Truncated (budget exhausted) or any schedule violated an invariant. *)
 
+val explore_faults : ?max_schedules:int -> unit -> exploration list
+(** Run the {!Check_scenarios.faults} soaks under a schedule budget. *)
+
+val fault_exploration_failed : ?min_schedules:int -> exploration -> bool
+(** The soak contract: any violation fails; truncation is acceptable but
+    only past [min_schedules] (default 100) failure-free schedules. *)
+
 val report_exploration : Format.formatter -> exploration -> unit
 
 val exploration_to_json : exploration list -> string

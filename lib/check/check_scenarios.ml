@@ -44,7 +44,7 @@ let spawn_echo c ~machine ~name errs =
            let rec loop () =
              (match Ali_layer.receive commod with
               | Ok env ->
-                if env.Ali_layer.expects_reply then
+                if Ali_layer.expects_reply env then
                   ignore
                     (Ali_layer.reply commod env
                        (Ntcs_wire.Convert.payload_raw
@@ -184,7 +184,263 @@ let break_ns =
      whole fault exchange; the tree is small enough to leave it wide. *)
   { sc_name = "break-ns"; sc_from = 4_000_000; sc_until = 64_000_000; sc_make = make }
 
+(* ----- fault-plane soak scenarios (PR 3) -----
+
+   Same contract as the scenarios above — every explored schedule must be
+   violation-free — but the world now runs under an armed {!Ntcs_sim.Faults}
+   plane, so the exchanges being checked are the *recovery* paths: LCM
+   retry/backoff, the §3.5 oracle, and the §6.3 guard. Their trees are
+   effectively unbounded (retry timers breed ties forever), so unlike [all]
+   these are run with truncation allowed: the soak contract is "at least N
+   schedules, zero failures", not exhaustiveness. *)
+
+(* Trace checks for runs where divergence — and with it a simulated process
+   crash — is the *expected* outcome: R3 minus the recursion bound, plus
+   the lifecycle automaton. *)
+let trace_violations_crashes_expected c =
+  let entries = Ntcs_sim.Trace.entries (Ntcs_sim.World.trace (Cluster.world c)) in
+  List.map
+    (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
+    (Lint_trace.check_all entries @ Check_lifecycle.check entries)
+
+let lan3 ?tweak () =
+  Cluster.build ?tweak
+    ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
+    ~machines:
+      [
+        ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]);
+        ("sun1", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+        ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+      ]
+    ~ns:"vax1" ()
+
+(* App body shared by the recovery soaks: locate [svc], prove the path works
+   once, then — after the faults have begun — keep sending until an echo
+   comes back or virtual time [give_up_us] passes. Every error along the way
+   (timeouts from dropped frames, broken circuits from partitions,
+   destination-dead from the oracle while the replacement is not yet
+   registered) is survivable by design: the loop just tries again. *)
+let spawn_chaser c ~machine ~text ~give_up_us outcome =
+  ignore
+    (Cluster.spawn c ~machine ~name:"app" (fun node ->
+         match Commod.bind node ~name:"app" with
+         | Error e -> outcome := `Err ("bind: " ^ Errors.to_string e)
+         | Ok commod -> (
+           match Ali_layer.locate commod "svc" with
+           | Error e -> outcome := `Err ("locate: " ^ Errors.to_string e)
+           | Ok addr -> (
+             match Ali_layer.send_sync commod ~dst:addr (payload "warm") with
+             | Error e -> outcome := `Err ("warm-up: " ^ Errors.to_string e)
+             | Ok _ ->
+               let sched = Node.sched node in
+               (* Into the fault window. *)
+               Ntcs_sim.Sched.sleep sched 3_000_000;
+               let rec chase () =
+                 if Ntcs_sim.Sched.now sched > give_up_us then outcome := `Gave_up
+                 else
+                   match
+                     Ali_layer.send_sync commod ~dst:addr ~timeout_us:1_000_000
+                       (payload text)
+                   with
+                   | Ok env -> outcome := `Reply (Bytes.to_string env.Ali_layer.data)
+                   | Error _ ->
+                     Ntcs_sim.Sched.sleep sched 1_000_000;
+                     chase ()
+               in
+               chase ()))))
+
+let chaser_errs ~text outcome =
+  match !outcome with
+  | `Reply r when r = "echo:" ^ text -> []
+  | `Reply other -> [ Printf.sprintf "wrong reply %S" other ]
+  | `Gave_up -> [ "app never recovered" ]
+  | `Err e -> [ e ]
+  | `Not_run -> [ "app never completed" ]
+
+let metric_at_least c name n msg =
+  if Ntcs_util.Metrics.get (Cluster.metrics c) name >= n then [] else [ msg ]
+
+(* Partition-heal: sever the service's machine from the rest of the LAN for
+   4s (with lossy/duplicating/delaying links around the window for good
+   measure), then heal. The app must ride out the outage on the LCM retry
+   policy and converge after the heal — on every interleaving. *)
+let fault_partition_heal =
+  let make () =
+    let c = lan3 () in
+    Ntcs_sim.World.install_faults (Cluster.world c)
+      (Ntcs_sim.Faults.create
+         ~rules:
+           [
+             Ntcs_sim.Faults.rule ~from_us:5_000_000 ~until_us:11_000_000 ~drop:0.03
+               ~dup:0.05 ~delay:0.2 ~delay_us:20_000 ();
+           ]
+         ~schedule:
+           [
+             (6_000_000, Ntcs_sim.Faults.Partition [ [ "sun1" ]; [ "vax1"; "sun2" ] ]);
+             (10_000_000, Ntcs_sim.Faults.Heal);
+           ]
+         ~seed:0xFA11 ());
+    let errs = ref [] in
+    let body () =
+      Cluster.settle c;
+      spawn_echo c ~machine:"sun1" ~name:"svc" errs;
+      Cluster.settle c;
+      let outcome = ref `Not_run in
+      spawn_chaser c ~machine:"sun2" ~text:"heal" ~give_up_us:35_000_000 outcome;
+      Cluster.settle ~dt:40_000_000 c;
+      !errs @ chaser_errs ~text:"heal" outcome
+      @ metric_at_least c "fault.blocked_frames" 1 "partition never blocked a frame"
+      @ metric_at_least c "lcm.retries" 1 "recovery never engaged the retry policy"
+      @ trace_violations c
+    in
+    (Cluster.sched c, body)
+  in
+  (* Branch across the outage and the convergence that follows it. *)
+  { sc_name = "fault-partition-heal"; sc_from = 5_000_000; sc_until = 36_000_000; sc_make = make }
+
+(* Crash-restart of a located module (§3.5): the service's machine crashes,
+   restarts, and a fresh generation re-registers under the same name. The
+   app holds the stale address; recovery must go through the address-fault
+   oracle ("map the old UAdd to its name, and then look for a similar name
+   in a newer module") on every interleaving. *)
+let fault_crash_restart =
+  let make () =
+    let c = lan3 () in
+    Ntcs_sim.World.install_faults (Cluster.world c)
+      (Ntcs_sim.Faults.create
+         ~schedule:
+           [
+             (6_000_000, Ntcs_sim.Faults.Crash "sun1");
+             (8_000_000, Ntcs_sim.Faults.Restart "sun1");
+           ]
+         ~seed:0xFA12 ());
+    let errs = ref [] in
+    let body () =
+      Cluster.settle c;
+      spawn_echo c ~machine:"sun1" ~name:"svc" errs;
+      Cluster.settle c;
+      (* The replacement generation, spawned once the machine is back. *)
+      Ntcs_sim.Sched.at (Cluster.sched c) 9_000_000 (fun () ->
+          spawn_echo c ~machine:"sun1" ~name:"svc" errs);
+      let outcome = ref `Not_run in
+      spawn_chaser c ~machine:"sun2" ~text:"gen2" ~give_up_us:38_000_000 outcome;
+      Cluster.settle ~dt:45_000_000 c;
+      !errs @ chaser_errs ~text:"gen2" outcome
+      @ metric_at_least c "lcm.relocations" 1 "stale address never healed through the oracle"
+      @ trace_violations c
+    in
+    (Cluster.sched c, body)
+  in
+  { sc_name = "fault-crash-restart"; sc_from = 5_000_000; sc_until = 39_000_000; sc_make = make }
+
+(* NS partition via the fault plane, under both guard settings. Guard on:
+   the §6.3 fault recursion must stay bounded on every schedule (this is
+   [break_ns] with the partition injected by the fault plane instead of by
+   the test driver). Guard off: the paper's divergence — recursion through
+   the NSP layer "until either the stack overflows, or the connection can
+   be reestablished" — must reproduce deterministically on every schedule. *)
+let ns_partition_make ~guard ~seed () =
+  let tweak cfg = { cfg with Node.ns_fault_guard = guard; recursion_limit = 40 } in
+  let c = lan3 ~tweak () in
+  Ntcs_sim.World.install_faults (Cluster.world c)
+    (Ntcs_sim.Faults.create
+       ~schedule:[ (6_000_000, Ntcs_sim.Faults.Partition [ [ "vax1" ]; [ "sun1"; "sun2" ] ]) ]
+       ~seed ());
+  let errs = ref [] in
+  let outcome = ref `Not_run in
+  let body_common () =
+    Cluster.settle c;
+    spawn_echo c ~machine:"sun1" ~name:"svc" errs;
+    Cluster.settle c;
+    ignore
+      (Cluster.spawn c ~machine:"sun2" ~name:"app" (fun node ->
+           match Commod.bind node ~name:"app" with
+           | Error e -> outcome := `Err ("bind: " ^ Errors.to_string e)
+           | Ok commod -> (
+             match Ali_layer.locate commod "svc" with
+             | Error e -> outcome := `Err ("locate svc: " ^ Errors.to_string e)
+             | Ok _ -> (
+               (* Wake with the name server already partitioned away. *)
+               Ntcs_sim.Sched.sleep (Node.sched node) 4_000_000;
+               match Ali_layer.locate commod "never-seen" with
+               | Ok _ -> outcome := `Resolved
+               | Error e -> outcome := `Failed e))));
+    Cluster.settle ~dt:60_000_000 c
+  in
+  (c, errs, outcome, body_common)
+
+let fault_ns_partition_guard =
+  let make () =
+    let c, errs, outcome, body_common = ns_partition_make ~guard:true ~seed:0xFA13 () in
+    let body () =
+      body_common ();
+      let outcome_errs =
+        match !outcome with
+        | `Failed
+            ( Errors.Name_service_unavailable | Errors.Timeout | Errors.Circuit_failed
+            | Errors.Unreachable ) ->
+          []
+        | `Failed e -> [ Printf.sprintf "unexpected error: %s" (Errors.to_string e) ]
+        | `Resolved -> [ "lookup cannot succeed while partitioned" ]
+        | `Err e -> [ e ]
+        | `Not_run -> [ "app never finished (recursion hang?)" ]
+      in
+      !errs @ outcome_errs
+      @ metric_at_least c "lcm.ns_guard_hits" 1 "guard never engaged"
+      @ trace_violations ~recursion_limit:40 c
+    in
+    (Cluster.sched c, body)
+  in
+  { sc_name = "fault-ns-partition-guard"; sc_from = 4_000_000; sc_until = 64_000_000; sc_make = make }
+
+let fault_ns_partition_noguard =
+  let make () =
+    let c, errs, outcome, body_common = ns_partition_make ~guard:false ~seed:0xFA14 () in
+    let body () =
+      body_common ();
+      let crashes =
+        List.length
+          (Ntcs_sim.Trace.matching (Ntcs_sim.World.trace (Cluster.world c))
+             ~cat:"sim.proc_crash")
+      in
+      let deep = Ntcs_util.Metrics.get (Cluster.metrics c) "lcm.fault_queries" in
+      (* The divergence must be observed: either the app died of the
+         simulated stack overflow, or the depth bound cut a recursion that
+         had already gone deep. A clean bounded failure here would mean the
+         §6.3 bug no longer reproduces. *)
+      let divergence_errs =
+        match !outcome with
+        | `Not_run when crashes > 0 -> []
+        | `Not_run -> [ "app hung without crashing or diverging" ]
+        | `Err e -> [ e ]
+        | `Resolved | `Failed _ ->
+          if deep >= 5 then []
+          else [ Printf.sprintf "fault recursion never went deep (fault_queries=%d)" deep ]
+      in
+      let guard_errs =
+        if Ntcs_util.Metrics.get (Cluster.metrics c) "lcm.ns_guard_hits" = 0 then []
+        else [ "guard engaged with ns_fault_guard=false" ]
+      in
+      !errs @ divergence_errs @ guard_errs @ trace_violations_crashes_expected c
+    in
+    (Cluster.sched c, body)
+  in
+  {
+    sc_name = "fault-ns-partition-noguard";
+    sc_from = 4_000_000;
+    sc_until = 64_000_000;
+    sc_make = make;
+  }
+
 let all = [ first_send; break_ns ]
+
+let faults =
+  [
+    fault_partition_heal;
+    fault_crash_restart;
+    fault_ns_partition_guard;
+    fault_ns_partition_noguard;
+  ]
 
 let explore ?max_schedules sc =
   Ntcs_sim.Explore.run ?max_schedules

@@ -20,5 +20,35 @@ val break_ns : scenario
 (** §6.3 name-server partition under the LCM guard. *)
 
 val all : scenario list
+(** The exhaustive scenarios: exploration must drain the whole tree. *)
+
+(** {1 Fault-plane soak scenarios}
+
+    The same contract per schedule — zero violations — but the world runs
+    under an armed {!Ntcs_sim.Faults} plane, so what is being explored is
+    the recovery machinery itself. Their schedule trees are effectively
+    unbounded (retry timers breed ties forever); run them with a budget and
+    accept truncation, requiring a minimum number of failure-free
+    schedules instead of exhaustiveness. *)
+
+val fault_partition_heal : scenario
+(** Partition the service's machine away mid-run (plus lossy links), heal
+    4s later; the app must converge on the LCM retry policy. *)
+
+val fault_crash_restart : scenario
+(** §3.5: crash and restart the machine hosting a located module; a new
+    generation re-registers and the app's stale address must heal through
+    the address-fault oracle. *)
+
+val fault_ns_partition_guard : scenario
+(** §6.3 NS partition injected by the fault plane, [ns_fault_guard] on:
+    recursion bounded, guard engaged, no crashes — on every schedule. *)
+
+val fault_ns_partition_noguard : scenario
+(** Same partition, guard off: the paper's divergence (deep fault-query
+    recursion or simulated stack overflow) must reproduce on every
+    schedule. *)
+
+val faults : scenario list
 
 val explore : ?max_schedules:int -> scenario -> Ntcs_sim.Explore.outcome

@@ -11,28 +11,21 @@
 
 open Ntcs_wire
 
-type envelope = {
-  src : Addr.t; (* who sent it (reply here) *)
-  data : Bytes.t;
+(* Re-export of the one shared envelope record (see [Std_if.envelope]):
+   what [receive] returns is exactly what [reply] consumes — no conversion,
+   no back-pointer. *)
+type envelope = Std_if.envelope = {
+  src : Addr.t;
+  kind : [ `Data | `Dgram ];
+  app_tag : int;
   mode : Convert.mode;
   src_order : Endian.order;
-  app_tag : int;
-  kind : [ `Data | `Dgram ];
-  expects_reply : bool;
-  raw : Lcm_layer.envelope;
+  data : Bytes.t;
+  conv : int;
+  seq : int;
 }
 
-let of_lcm (e : Lcm_layer.envelope) =
-  {
-    src = e.Lcm_layer.env_src;
-    data = e.Lcm_layer.env_data;
-    mode = e.Lcm_layer.env_mode;
-    src_order = e.Lcm_layer.env_src_order;
-    app_tag = e.Lcm_layer.env_app_tag;
-    kind = e.Lcm_layer.env_kind;
-    expects_reply = e.Lcm_layer.env_conv <> 0;
-    raw = e;
-  }
+let expects_reply (env : envelope) = env.conv <> 0
 
 (* Application tags below this are free for applications; the naming service
    tag is above it. *)
@@ -64,23 +57,23 @@ let locate_entry commod addr = Nsp_layer.resolve (Commod.nsp_exn commod) addr
 
 (* --- basic communication primitives --- *)
 
-let send commod ~dst ?(app_tag = 0) payload =
+(* Every primitive takes the same two optional parameters — [?app_tag] and
+   [?timeout_us] — with the defaults documented on [Node.config]. *)
+
+let send commod ~dst ?(app_tag = 0) ?timeout_us payload =
   match (check_tag app_tag, check_addr dst) with
   | Error e, _ | _, Error e -> Error e
-  | Ok (), Ok () -> Lcm_layer.send (Commod.lcm commod) ~dst ~app_tag payload
+  | Ok (), Ok () -> Lcm_layer.send (Commod.lcm commod) ~dst ~app_tag ?timeout_us payload
 
 let send_sync commod ~dst ?(app_tag = 0) ?timeout_us payload =
   match (check_tag app_tag, check_addr dst) with
   | Error e, _ | _, Error e -> Error e
-  | Ok (), Ok () -> (
-    match Lcm_layer.send_sync (Commod.lcm commod) ~dst ~app_tag ?timeout_us payload with
-    | Ok env -> Ok (of_lcm env)
-    | Error _ as e -> e)
+  | Ok (), Ok () -> Lcm_layer.send_sync (Commod.lcm commod) ~dst ~app_tag ?timeout_us payload
 
-let send_dgram commod ~dst ?(app_tag = 0) payload =
+let send_dgram commod ~dst ?(app_tag = 0) ?timeout_us payload =
   match (check_tag app_tag, check_addr dst) with
   | Error e, _ | _, Error e -> Error e
-  | Ok (), Ok () -> Lcm_layer.send_dgram (Commod.lcm commod) ~dst ~app_tag payload
+  | Ok (), Ok () -> Lcm_layer.send_dgram (Commod.lcm commod) ~dst ~app_tag ?timeout_us payload
 
 let receive ?timeout_us ?app_tag commod =
   (match app_tag with
@@ -88,20 +81,22 @@ let receive ?timeout_us ?app_tag commod =
    | _ -> Ok ())
   |> function
   | Error _ as e -> e
-  | Ok () -> (
-    match Lcm_layer.recv ?timeout_us ?app_tag (Commod.lcm commod) with
-    | Ok env -> Ok (of_lcm env)
-    | Error _ as e -> e)
+  | Ok () -> Lcm_layer.recv ?timeout_us ?app_tag (Commod.lcm commod)
 
-let reply commod (env : envelope) ?(app_tag = 0) payload =
-  if not env.expects_reply then Error (Errors.Internal "sender does not expect a reply")
+let reply commod (env : envelope) ?(app_tag = 0) ?timeout_us payload =
+  if not (expects_reply env) then Error (Errors.Internal "sender does not expect a reply")
   else begin
     match check_tag app_tag with
     | Error _ as e -> e
-    | Ok () -> Lcm_layer.reply (Commod.lcm commod) env.raw ~app_tag payload
+    | Ok () -> Lcm_layer.reply (Commod.lcm commod) env ~app_tag ?timeout_us payload
   end
 
 (* --- utilities --- *)
+
+(* The error classification applications should consult before retrying a
+   failed primitive themselves — the same one the LCM/NSP recovery uses. *)
+let retryable = Errors.retryable
+let severity = Errors.severity
 
 let my_address commod =
   match Commod.my_addr commod with

@@ -8,18 +8,22 @@
 
 open Ntcs_wire
 
-type envelope = {
+type envelope = Std_if.envelope = {
   src : Addr.t;  (** who sent it (reply here) *)
-  data : Bytes.t;
+  kind : [ `Data | `Dgram ];
+  app_tag : int;
   mode : Convert.mode;  (** how the payload was rendered (image/packed) *)
   src_order : Endian.order;
-  app_tag : int;
-  kind : [ `Data | `Dgram ];
-  expects_reply : bool;
-  raw : Lcm_layer.envelope;
+  data : Bytes.t;
+  conv : int;  (** nonzero: the sender awaits a reply *)
+  seq : int;  (** sender's LCM sequence number *)
 }
+(** Re-export of the one shared envelope record — see {!Std_if.envelope}.
+    What {!receive} returns is exactly what {!reply} consumes. *)
 
-val of_lcm : Lcm_layer.envelope -> envelope
+val expects_reply : envelope -> bool
+(** [true] when the sender is blocked in a synchronous send awaiting a
+    {!reply} (i.e. [env.conv <> 0]). *)
 
 val max_app_tag : int
 (** Application tags above this are reserved for internal services. *)
@@ -35,10 +39,20 @@ val locate_attrs : Commod.t -> (string * string) list -> (Addr.t list, Errors.t)
 
 val locate_entry : Commod.t -> Addr.t -> (Ns_proto.entry, Errors.t) result
 
-(** {1 Basic communication primitives} *)
+(** {1 Basic communication primitives}
+
+    Every primitive takes the same two optional parameters: [?app_tag]
+    (default 0) typing the message for tag-filtered receives, and
+    [?timeout_us] (default [Node.config.default_timeout_us] — documented
+    there, once) bounding the whole operation, retry backoff included. *)
 
 val send :
-  Commod.t -> dst:Addr.t -> ?app_tag:int -> Convert.payload -> (unit, Errors.t) result
+  Commod.t ->
+  dst:Addr.t ->
+  ?app_tag:int ->
+  ?timeout_us:int ->
+  Convert.payload ->
+  (unit, Errors.t) result
 (** Asynchronous send. *)
 
 val send_sync :
@@ -51,15 +65,33 @@ val send_sync :
 (** Synchronous send/receive/reply. *)
 
 val send_dgram :
-  Commod.t -> dst:Addr.t -> ?app_tag:int -> Convert.payload -> (unit, Errors.t) result
+  Commod.t ->
+  dst:Addr.t ->
+  ?app_tag:int ->
+  ?timeout_us:int ->
+  Convert.payload ->
+  (unit, Errors.t) result
 (** Connectionless (no recovery). *)
 
 val receive : ?timeout_us:int -> ?app_tag:int -> Commod.t -> (envelope, Errors.t) result
 (** Next message for this module; with [app_tag], only messages of that
     type (others are held for later receives). *)
 
-val reply : Commod.t -> envelope -> ?app_tag:int -> Convert.payload -> (unit, Errors.t) result
+val reply :
+  Commod.t ->
+  envelope ->
+  ?app_tag:int ->
+  ?timeout_us:int ->
+  Convert.payload ->
+  (unit, Errors.t) result
 (** Answer a synchronous send. Error when the sender expects no reply. *)
+
+val retryable : Errors.t -> bool
+(** The classification the LCM/NSP recovery machinery consults —
+    applications retrying a failed primitive themselves should use it
+    too. *)
+
+val severity : Errors.t -> Errors.severity
 
 (** {1 Utilities} *)
 

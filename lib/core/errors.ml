@@ -33,6 +33,31 @@ let pp ppf e = Fmt.string ppf (to_string e)
 
 let equal (a : t) b = a = b
 
+(* Severity classification, consumed by the LCM/NSP retry policy and exposed
+   through the ALI so applications can make the same call we do:
+
+   - [Transient]: the condition may clear on its own (a circuit broke, a
+     timeout elapsed, the name service was briefly unreachable). Retrying —
+     with backoff — is reasonable.
+   - [Permanent]: the destination itself is the problem (no such name, no
+     such address, module gone with no replacement, message cannot fit).
+     Retrying the same operation cannot succeed.
+   - [Fatal]: the caller (or this implementation) is wrong; retrying would
+     repeat the mistake. *)
+type severity = Transient | Permanent | Fatal
+
+let severity = function
+  | Timeout | Circuit_failed | Unreachable | Name_service_unavailable -> Transient
+  | Unknown_name | Unknown_address | Destination_dead | Message_too_large -> Permanent
+  | Bad_message _ | Not_registered | Internal _ -> Fatal
+
+let severity_to_string = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+  | Fatal -> "fatal"
+
+let retryable e = severity e = Transient
+
 (* Map a native IPCS error into the NTCS vocabulary. *)
 let of_ipcs (e : Ntcs_ipcs.Ipcs_error.t) =
   match e with

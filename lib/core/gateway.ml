@@ -76,6 +76,18 @@ let send_reject commod circuit ~(h : Proto.header) reason =
    blocking channel open, and the gateway must keep forwarding meanwhile. *)
 let handle_open t (in_net : Net.id) (in_commod : Commod.t) in_circuit (h : Proto.header)
     (req : Proto.ivc_open) =
+  let in_key = leg_key in_net in_circuit h.Proto.ivc in
+  if Hashtbl.mem t.splices in_key then begin
+    (* Duplicated IVC_OPEN (the fault plane can replay control frames): the
+       splice already exists and the original open already answered —
+       splice repair must be idempotent, so drop the replay instead of
+       opening a second outbound leg over the live one. *)
+    Ntcs_util.Metrics.incr (metrics t) "gw.duplicate_opens";
+    trace t ~cat:"gw.dup_open"
+      (Printf.sprintf "net%d label %d dst=%s" in_net h.Proto.ivc
+         (Addr.to_string req.Proto.final_dst))
+  end
+  else begin
   let target =
     match req.Proto.route with [] -> req.Proto.final_dst | next :: _ -> next
   in
@@ -115,42 +127,59 @@ let handle_open t (in_net : Net.id) (in_commod : Commod.t) in_circuit (h : Proto
         Ntcs_util.Metrics.incr (metrics t) "gw.open_failures";
         send_reject in_commod in_circuit ~h (Errors.to_string e)
       | Ok out_circuit ->
-        let out_label = Registry.fresh_label t.node.Node.ipcs in
-        Hashtbl.replace t.splices
-          (leg_key in_net in_circuit h.Proto.ivc)
-          { lg_net = out_net; lg_commod = out_commod; lg_circuit = out_circuit;
-            lg_label = out_label };
-        Hashtbl.replace t.splices
-          (leg_key out_net out_circuit out_label)
-          { lg_net = in_net; lg_commod = in_commod; lg_circuit = in_circuit;
-            lg_label = h.Proto.ivc };
-        let body =
-          Ntcs_wire.Packed.run_pack Proto.ivc_open_codec
-            { req with Proto.route = (match req.Proto.route with [] -> [] | _ :: r -> r) }
-        in
-        let fwd =
-          { h with Proto.dst = target; ivc = out_label; hops = h.Proto.hops + 1 }
-        in
-        Ntcs_util.Metrics.incr (metrics t) "gw.opens";
-        trace t ~cat:"gw.splice"
-          (Printf.sprintf "net%d label %d <-> net%d label %d dst=%s" in_net h.Proto.ivc
-             out_net out_label (Addr.to_string req.Proto.final_dst));
-        (match Nd_layer.send_frame out_circuit fwd body with
-         | Ok () -> ()
-         | Error e ->
-           Hashtbl.remove t.splices (leg_key in_net in_circuit h.Proto.ivc);
-           Hashtbl.remove t.splices (leg_key out_net out_circuit out_label);
-           send_reject in_commod in_circuit ~h (Errors.to_string e))))
+        if Hashtbl.mem t.splices in_key then begin
+          (* A worker for a replayed copy of this open won the race while we
+             were blocked on naming / channel setup: same answer as above. *)
+          Ntcs_util.Metrics.incr (metrics t) "gw.duplicate_opens";
+          trace t ~cat:"gw.dup_open"
+            (Printf.sprintf "net%d label %d dst=%s (lost race)" in_net h.Proto.ivc
+               (Addr.to_string req.Proto.final_dst))
+        end
+        else begin
+          let out_label = Registry.fresh_label t.node.Node.ipcs in
+          Hashtbl.replace t.splices in_key
+            { lg_net = out_net; lg_commod = out_commod; lg_circuit = out_circuit;
+              lg_label = out_label };
+          Hashtbl.replace t.splices
+            (leg_key out_net out_circuit out_label)
+            { lg_net = in_net; lg_commod = in_commod; lg_circuit = in_circuit;
+              lg_label = h.Proto.ivc };
+          let body =
+            Ntcs_wire.Packed.run_pack Proto.ivc_open_codec
+              { req with Proto.route = (match req.Proto.route with [] -> [] | _ :: r -> r) }
+          in
+          let fwd =
+            { h with Proto.dst = target; ivc = out_label; hops = h.Proto.hops + 1 }
+          in
+          Ntcs_util.Metrics.incr (metrics t) "gw.opens";
+          trace t ~cat:"gw.splice"
+            (Printf.sprintf "net%d label %d <-> net%d label %d dst=%s" in_net h.Proto.ivc
+               out_net out_label (Addr.to_string req.Proto.final_dst));
+          match Nd_layer.send_frame out_circuit fwd body with
+          | Ok () -> ()
+          | Error e ->
+            Hashtbl.remove t.splices in_key;
+            Hashtbl.remove t.splices (leg_key out_net out_circuit out_label);
+            send_reject in_commod in_circuit ~h (Errors.to_string e)
+        end))
+  end
 
 let remove_splice_pair t in_key (out_leg : leg) =
-  (* Traced so the lifecycle checker (ntcs_check) can prove no frame is ever
-     forwarded across a splice after its teardown (§4.3 ordering). *)
-  let in_net, _, in_label = in_key in
-  trace t ~cat:"gw.close"
-    (Printf.sprintf "net%d label %d <-> net%d label %d" in_net in_label out_leg.lg_net
-       out_leg.lg_label);
-  Hashtbl.remove t.splices in_key;
-  Hashtbl.remove t.splices (leg_key out_leg.lg_net out_leg.lg_circuit out_leg.lg_label)
+  (* Idempotent: a duplicated IVC_CLOSE (the fault plane can replay control
+     frames), the forward-error path and the close path may all tear down
+     the same splice — only the first call does anything, so [gw.close] is
+     traced exactly once per splice and a replayed close can never tear
+     down a successor splice reusing the labels. Traced so the lifecycle
+     checker (ntcs_check) can prove no frame is ever forwarded across a
+     splice after its teardown (§4.3 ordering). *)
+  if Hashtbl.mem t.splices in_key then begin
+    let in_net, _, in_label = in_key in
+    trace t ~cat:"gw.close"
+      (Printf.sprintf "net%d label %d <-> net%d label %d" in_net in_label out_leg.lg_net
+         out_leg.lg_label);
+    Hashtbl.remove t.splices in_key;
+    Hashtbl.remove t.splices (leg_key out_leg.lg_net out_leg.lg_circuit out_leg.lg_label)
+  end
 
 (* Forward one frame across a splice, label-swapped. Messages can sit in a
    dead leg's queue and be lost during reconfiguration — "for all practical

@@ -326,7 +326,7 @@ let close_ivc t ivc ~reason =
 (* --- incoming traffic --- *)
 
 (* The final destination's half of IVC establishment. *)
-let accept_chained t circuit (h : Proto.header) (req : Proto.ivc_open) =
+let accept_chained_fresh t circuit (h : Proto.header) (req : Proto.ivc_open) =
   let origin_real = req.Proto.origin_hello.Proto.h_addr in
   let peer_key =
     if Addr.is_temporary origin_real then Nd_layer.fresh_alias t.nd else origin_real
@@ -359,6 +359,19 @@ let accept_chained t circuit (h : Proto.header) (req : Proto.ivc_open) =
   in
   ignore
     (Nd_layer.send_frame circuit reply (Packed.run_pack Proto.hello_codec (my_hello t)))
+
+let accept_chained t circuit (h : Proto.header) (req : Proto.ivc_open) =
+  if Hashtbl.mem t.by_leg (circuit.Nd_layer.cid, h.Proto.ivc) then begin
+    (* A duplicated open frame (the fault plane may duplicate any
+       single-segment frame): this leg is already established and acked.
+       Accepting again would drive the lifecycle automaton's open on a live
+       label — drop it instead. The origin never retries an open under the
+       same label (a timed-out open goes out again under a fresh one), so
+       no re-ack is owed. *)
+    Ntcs_util.Metrics.incr (metrics t) "ip.duplicate_opens";
+    trace t ~cat:"ip.dup_open" (Printf.sprintf "label %d" h.Proto.ivc)
+  end
+  else accept_chained_fresh t circuit h req
 
 (* Presented source for an application frame: chained frames resolve through
    the IVC's peer key (and upgrade TAdd aliases on the spot, §3.4); direct

@@ -24,26 +24,30 @@
 open Ntcs_sim
 open Ntcs_wire
 
-type envelope = {
-  env_src : Addr.t;
-  env_kind : [ `Data | `Dgram ];
-  env_app_tag : int;
-  env_mode : Convert.mode;
-  env_src_order : Endian.order;
-  env_data : Bytes.t;
-  env_conv : int; (* nonzero: the sender is blocked in send_sync awaiting a reply *)
-  env_seq : int; (* sender's LCM sequence number *)
+(* Re-export of the one shared envelope record (see [Std_if.envelope]):
+   the labels are usable both bare and as [Lcm_layer.src] etc. *)
+type envelope = Std_if.envelope = {
+  src : Addr.t;
+  kind : [ `Data | `Dgram ];
+  app_tag : int;
+  mode : Convert.mode;
+  src_order : Endian.order;
+  data : Bytes.t;
+  conv : int; (* nonzero: the sender is blocked in send_sync awaiting a reply *)
+  seq : int; (* sender's LCM sequence number *)
 }
 
 type t = {
   node : Node.t;
   nd : Nd_layer.t;
   ip : Ip_layer.t;
+  rng : Ntcs_util.Rng.t; (* private stream for backoff jitter *)
   track : Recursion.t;
   app_inbox : envelope Sched.Mailbox.mb;
   stash : envelope Queue.t; (* set aside by tag-filtered receives *)
   waiting : (int, reply_slot) Hashtbl.t; (* conversation id -> waiter *)
   forwarding : (Addr.t, Addr.t) Hashtbl.t; (* old UAdd -> replacement UAdd *)
+  reestablish : (Addr.t, int) Hashtbl.t; (* per-destination circuit reestablishments *)
   last_seq : (Addr.t, int) Hashtbl.t; (* per-source high-water mark (§3.5 audit) *)
   mutable fault_oracle : (Addr.t -> (Addr.t option, Errors.t) result) option;
   mutable ns_addr : Addr.t option; (* who the name server is, for the guard *)
@@ -62,6 +66,8 @@ and counters = {
   mutable c_received : int;
   mutable c_sync_calls : int;
   mutable c_faults : int;
+  mutable c_retries : int;
+  mutable c_backoff_us : int;
 }
 
 and reply_slot = { rs_dst : Addr.t; rs_ivar : (envelope, Errors.t) result Sched.Ivar.ivar }
@@ -172,8 +178,6 @@ let address_fault t ~dst =
 
 (* --- sending --- *)
 
-let max_fault_retries = 2
-
 (* Datagrams are connectionless (no recovery, §2.2); PINGs are liveness
    probes and must report on the probed address itself — transparently
    relocating a probe would make every dead module look alive. *)
@@ -182,30 +186,65 @@ let recoverable_kind = function
   | Proto.Data | Proto.Reply | Proto.Pong | Proto.Hello | Proto.Hello_ack | Proto.Ivc_open
   | Proto.Ivc_accept | Proto.Ivc_reject | Proto.Ivc_close -> true
 
-let send_frame t ~dst ~kind ~conv ~app_tag payload =
-  let rec go dst attempts =
-    match Ip_layer.get_or_open t.ip ~dst with
-    | Error (Errors.Circuit_failed | Errors.Unreachable | Errors.Timeout)
-      when attempts < max_fault_retries && recoverable_kind kind -> recover dst attempts
-    | Error _ as e -> e
-    | Ok ivc -> (
-      match Ip_layer.send t.ip ivc ~kind ~seq:(fresh_seq t) ~conv ~app_tag payload with
-      | Ok () -> Ok ()
-      | Error _ when attempts < max_fault_retries && recoverable_kind kind ->
-        recover dst attempts
-      | Error _ as e -> e)
-  and recover dst attempts =
-    match address_fault t ~dst with
-    | Error _ as e -> e
-    | Ok dst' -> go dst' (attempts + 1)
+(* The default deadline for every primitive; an explicit [?timeout_us]
+   overrides it. It bounds the whole operation — retry backoff included. *)
+let deadline_of t timeout_us =
+  let budget =
+    match timeout_us with
+    | Some v -> v
+    | None -> t.node.Node.config.Node.default_timeout_us
   in
-  let dst = if recoverable_kind kind then follow_forwarding t dst 4 else dst in
-  go dst 0
+  Node.now t.node + budget
 
-let send t ~dst ?(app_tag = 0) payload =
+let note_reestablish t dst =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.reestablish dst) in
+  Hashtbl.replace t.reestablish dst (n + 1)
+
+(* One send under the configured retry policy (§3.5): the first attempt goes
+   to [dst] (after following any forwarding chain); every later attempt runs
+   the address-fault handler first — forwarding table, §6.3 guard, fault
+   oracle — and reopens the circuit to whatever address it yields, with
+   exponential seeded backoff between attempts. *)
+let send_frame ?deadline_us t ~dst ~kind ~conv ~app_tag payload =
+  let recoverable = recoverable_kind kind in
+  let policy =
+    if recoverable then t.node.Node.config.Node.send_retry else Retry.no_retry
+  in
+  let cur = ref (if recoverable then follow_forwarding t dst 4 else dst) in
+  let attempt_once ~attempt =
+    let target =
+      if attempt = 1 then Ok !cur
+      else begin
+        match address_fault t ~dst:!cur with
+        | Error _ as e -> e
+        | Ok dst' ->
+          cur := dst';
+          note_reestablish t dst';
+          Ok dst'
+        end
+    in
+    match target with
+    | Error _ as e -> e
+    | Ok dst -> (
+      match Ip_layer.get_or_open t.ip ~dst with
+      | Error _ as e -> e
+      | Ok ivc -> Ip_layer.send t.ip ivc ~kind ~seq:(fresh_seq t) ~conv ~app_tag payload)
+  in
+  Retry.run (Node.sched t.node) ~rng:t.rng ?deadline_us policy ~retryable:Errors.retryable
+    ~on_retry:(fun ~attempt ~delay_us e ->
+      t.counters.c_retries <- t.counters.c_retries + 1;
+      t.counters.c_backoff_us <- t.counters.c_backoff_us + delay_us;
+      Ntcs_util.Metrics.incr (metrics t) "lcm.retries";
+      trace t ~cat:"lcm.retry"
+        (Printf.sprintf "%s attempt=%d backoff=%dus err=%s" (Addr.to_string !cur) attempt
+           delay_us (Errors.to_string e)))
+    attempt_once
+
+let send t ~dst ?(app_tag = 0) ?timeout_us payload =
   tracked t (fun () ->
       monitor_event t "send" (Addr.to_string dst);
-      let r = send_frame t ~dst ~kind:Proto.Data ~conv:0 ~app_tag payload in
+      let deadline_us = deadline_of t timeout_us in
+      let r = send_frame ~deadline_us t ~dst ~kind:Proto.Data ~conv:0 ~app_tag payload in
       (match r with
        | Ok () ->
          t.counters.c_sent <- t.counters.c_sent + 1;
@@ -214,9 +253,10 @@ let send t ~dst ?(app_tag = 0) payload =
       r)
 
 (* Connectionless protocol: single attempt, no relocation, no recovery. *)
-let send_dgram t ~dst ?(app_tag = 0) payload =
+let send_dgram t ~dst ?(app_tag = 0) ?timeout_us payload =
   tracked t (fun () ->
-      let r = send_frame t ~dst ~kind:Proto.Dgram ~conv:0 ~app_tag payload in
+      let deadline_us = deadline_of t timeout_us in
+      let r = send_frame ~deadline_us t ~dst ~kind:Proto.Dgram ~conv:0 ~app_tag payload in
       (match r with
        | Ok () -> Ntcs_util.Metrics.incr (metrics t) "lcm.dgrams"
        | Error _ -> Ntcs_util.Metrics.incr (metrics t) "lcm.dgram_errors");
@@ -237,30 +277,26 @@ let await_reply t ~dst ~conv ~timeout_us =
 let send_sync t ~dst ?(app_tag = 0) ?timeout_us payload =
   tracked t (fun () ->
       monitor_event t "send-sync" (Addr.to_string dst);
-      let timeout_us =
-        match timeout_us with
-        | Some v -> v
-        | None -> t.node.Node.config.Node.default_timeout_us
-      in
+      (* One deadline for the whole conversation: send retries, their
+         backoff, and the reply wait all draw on the same budget. *)
+      let deadline_us = deadline_of t timeout_us in
       let conv = fresh_conv t in
-      match send_frame t ~dst ~kind:Proto.Data ~conv ~app_tag payload with
+      match send_frame ~deadline_us t ~dst ~kind:Proto.Data ~conv ~app_tag payload with
       | Error _ as e -> e
       | Ok () ->
         t.counters.c_sent <- t.counters.c_sent + 1;
         t.counters.c_sync_calls <- t.counters.c_sync_calls + 1;
         Ntcs_util.Metrics.incr (metrics t) "lcm.sync_sends";
-        await_reply t ~dst ~conv ~timeout_us)
+        await_reply t ~dst ~conv ~timeout_us:(max 0 (deadline_us - Node.now t.node)))
 
-let reply t (env : envelope) ?(app_tag = 0) payload =
+let reply t (env : envelope) ?(app_tag = 0) ?timeout_us payload =
   tracked t (fun () ->
-      if env.env_conv = 0 then Error (Errors.Internal "reply to a message that expects none")
+      if env.conv = 0 then Error (Errors.Internal "reply to a message that expects none")
       else begin
-        monitor_event t "reply" (Addr.to_string env.env_src);
-        match Ip_layer.get_or_open t.ip ~dst:env.env_src with
-        | Error _ as e -> e
-        | Ok ivc ->
-          Ip_layer.send t.ip ivc ~kind:Proto.Reply ~seq:(fresh_seq t) ~conv:env.env_conv
-            ~app_tag payload
+        monitor_event t "reply" (Addr.to_string env.src);
+        let deadline_us = deadline_of t timeout_us in
+        send_frame ~deadline_us t ~dst:env.src ~kind:Proto.Reply ~conv:env.conv ~app_tag
+          payload
       end)
 
 (* Liveness probe: PING / PONG with a conversation id. Used by the naming
@@ -269,7 +305,8 @@ let ping t ~dst ~timeout_us =
   tracked t (fun () ->
       let conv = fresh_conv t in
       match
-        send_frame t ~dst ~kind:Proto.Ping ~conv ~app_tag:0
+        send_frame ~deadline_us:(Node.now t.node + timeout_us) t ~dst ~kind:Proto.Ping
+          ~conv ~app_tag:0
           (Convert.payload_raw Bytes.empty)
       with
       | Error _ as e -> e
@@ -291,7 +328,7 @@ let take_stashed t want =
 let recv ?timeout_us ?app_tag t =
   tracked t (fun () ->
       let want env =
-        match app_tag with None -> true | Some tag -> env.env_app_tag = tag
+        match app_tag with None -> true | Some tag -> env.app_tag = tag
       in
       let deadline = Option.map (fun d -> Node.now t.node + d) timeout_us in
       let rec pull () =
@@ -319,7 +356,7 @@ let recv ?timeout_us ?app_tag t =
       (match result with
        | Ok env ->
          t.counters.c_received <- t.counters.c_received + 1;
-         monitor_event t "recv" (Addr.to_string env.env_src)
+         monitor_event t "recv" (Addr.to_string env.src)
        | Error _ -> ());
       result)
 
@@ -333,14 +370,14 @@ let try_recv t =
 let envelope_of t (d : Ip_layer.delivery) kind =
   ignore t;
   {
-    env_src = d.Ip_layer.del_src;
-    env_kind = kind;
-    env_app_tag = d.Ip_layer.del_hdr.Proto.app_tag;
-    env_mode = d.Ip_layer.del_hdr.Proto.mode;
-    env_src_order = d.Ip_layer.del_hdr.Proto.src_order;
-    env_data = d.Ip_layer.del_payload;
-    env_conv = d.Ip_layer.del_hdr.Proto.conv;
-    env_seq = d.Ip_layer.del_hdr.Proto.seq;
+    src = d.Ip_layer.del_src;
+    kind;
+    app_tag = d.Ip_layer.del_hdr.Proto.app_tag;
+    mode = d.Ip_layer.del_hdr.Proto.mode;
+    src_order = d.Ip_layer.del_hdr.Proto.src_order;
+    data = d.Ip_layer.del_payload;
+    conv = d.Ip_layer.del_hdr.Proto.conv;
+    seq = d.Ip_layer.del_hdr.Proto.seq;
   }
 
 (* Audit per-source sequencing: in a static environment the LCM must never
@@ -418,11 +455,15 @@ let create node nd ip =
       node;
       nd;
       ip;
+      (* Split off the world stream at creation: creation order is
+         deterministic, so each ComMod gets a reproducible jitter stream. *)
+      rng = Ntcs_util.Rng.split (World.rng (Node.world node));
       track = Recursion.create ~limit:node.Node.config.Node.recursion_limit ();
       app_inbox = Sched.Mailbox.create (Node.sched node);
       stash = Queue.create ();
       waiting = Hashtbl.create 16;
       forwarding = Hashtbl.create 8;
+      reestablish = Hashtbl.create 8;
       last_seq = Hashtbl.create 16;
       fault_oracle = None;
       ns_addr = None;
@@ -433,7 +474,15 @@ let create node nd ip =
       on_peer_down = None;
       running = true;
       deepest = 0;
-      counters = { c_sent = 0; c_received = 0; c_sync_calls = 0; c_faults = 0 };
+      counters =
+        {
+          c_sent = 0;
+          c_received = 0;
+          c_sync_calls = 0;
+          c_faults = 0;
+          c_retries = 0;
+          c_backoff_us = 0;
+        };
     }
   in
   let pid =
@@ -467,6 +516,10 @@ type stats = {
   st_sync_calls : int;
   st_faults : int;  (* address faults handled *)
   st_forwarding : int;  (* live forwarding-table entries *)
+  st_retries : int;  (* send attempts beyond the first *)
+  st_backoff_us : int;  (* total virtual time spent in backoff sleeps *)
+  st_reestablished : (string * int) list;
+      (* per-destination circuit reestablishments, sorted by address *)
 }
 
 let stats t =
@@ -476,4 +529,9 @@ let stats t =
     st_sync_calls = t.counters.c_sync_calls;
     st_faults = t.counters.c_faults;
     st_forwarding = Hashtbl.length t.forwarding;
+    st_retries = t.counters.c_retries;
+    st_backoff_us = t.counters.c_backoff_us;
+    st_reestablished =
+      List.map (fun (a, n) -> (Addr.to_string a, n))
+        (Ntcs_util.sorted_bindings t.reestablish);
   }

@@ -18,16 +18,17 @@
 
 open Ntcs_wire
 
-type envelope = {
-  env_src : Addr.t;
-  env_kind : [ `Data | `Dgram ];
-  env_app_tag : int;
-  env_mode : Convert.mode;
-  env_src_order : Endian.order;
-  env_data : Bytes.t;
-  env_conv : int;  (** nonzero: the sender awaits a reply *)
-  env_seq : int;  (** sender's LCM sequence number *)
+type envelope = Std_if.envelope = {
+  src : Addr.t;
+  kind : [ `Data | `Dgram ];
+  app_tag : int;
+  mode : Convert.mode;
+  src_order : Endian.order;
+  data : Bytes.t;
+  conv : int;  (** nonzero: the sender awaits a reply *)
+  seq : int;  (** sender's LCM sequence number *)
 }
+(** Re-export of the one shared envelope record — see {!Std_if.envelope}. *)
 
 type t
 
@@ -46,11 +47,31 @@ val set_on_peer_down : t -> (Addr.t -> unit) -> unit
 
 (** {1 Communication primitives} *)
 
-val send : t -> dst:Addr.t -> ?app_tag:int -> Convert.payload -> (unit, Errors.t) result
+(** Every primitive takes the same two optional parameters: [?app_tag]
+    (default 0) typing the message for tag-filtered receives, and
+    [?timeout_us] (default [Node.config.default_timeout_us]) bounding the
+    {e whole} operation — connection attempts, retry backoff and, for
+    synchronous calls, the reply wait all draw on the one budget.
+    Recoverable sends run under [Node.config.send_retry]: each attempt
+    after the first passes through the §3.5 address-fault handler, with
+    exponential seeded backoff between attempts. *)
+
+val send :
+  t ->
+  dst:Addr.t ->
+  ?app_tag:int ->
+  ?timeout_us:int ->
+  Convert.payload ->
+  (unit, Errors.t) result
 (** Asynchronous send with transparent fault recovery / relocation. *)
 
 val send_dgram :
-  t -> dst:Addr.t -> ?app_tag:int -> Convert.payload -> (unit, Errors.t) result
+  t ->
+  dst:Addr.t ->
+  ?app_tag:int ->
+  ?timeout_us:int ->
+  Convert.payload ->
+  (unit, Errors.t) result
 (** Connectionless: single attempt, no relocation, no recovery (§2.2). *)
 
 val send_sync :
@@ -62,7 +83,13 @@ val send_sync :
   (envelope, Errors.t) result
 (** Synchronous send / receive / reply conversation. *)
 
-val reply : t -> envelope -> ?app_tag:int -> Convert.payload -> (unit, Errors.t) result
+val reply :
+  t ->
+  envelope ->
+  ?app_tag:int ->
+  ?timeout_us:int ->
+  Convert.payload ->
+  (unit, Errors.t) result
 
 val ping : t -> dst:Addr.t -> timeout_us:int -> (unit, Errors.t) result
 (** Liveness probe; never transparently relocated (a relocated probe would
@@ -90,6 +117,10 @@ type stats = {
   st_sync_calls : int;
   st_faults : int;
   st_forwarding : int;
+  st_retries : int;  (** send attempts beyond the first *)
+  st_backoff_us : int;  (** total virtual time spent in backoff sleeps *)
+  st_reestablished : (string * int) list;
+      (** per-destination circuit reestablishments, sorted by address *)
 }
 
 val stats : t -> stats

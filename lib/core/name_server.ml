@@ -184,7 +184,7 @@ let pull_sync t =
               (Ntcs_wire.Convert.payload_raw (Ns_proto.pack_request (Ns_proto.Sync_pull 0)))
           with
           | Ok env -> (
-            match Ns_proto.unpack_response env.Lcm_layer.env_data with
+            match Ns_proto.unpack_response env.Lcm_layer.data with
             | Ok (Ns_proto.R_sync entries) -> List.iter (merge_entry t) entries
             | Ok _ | Error _ -> try_peers rest)
           | Error _ -> try_peers rest
@@ -326,13 +326,13 @@ let serve ?fixed t () =
     match Lcm_layer.recv lcm with
     | Error _ -> ()
     | Ok env -> (
-      if env.Lcm_layer.env_app_tag = Ns_proto.app_tag then begin
-        match Ns_proto.unpack_request env.Lcm_layer.env_data with
+      if env.Lcm_layer.app_tag = Ns_proto.app_tag then begin
+        match Ns_proto.unpack_request env.Lcm_layer.data with
         | Error m ->
           Node.record t.node ~cat:"ns.bad_request" ~actor:"name-server" m
         | Ok req ->
           let resp = handle_request t commod req in
-          if env.Lcm_layer.env_conv <> 0 then
+          if env.Lcm_layer.conv <> 0 then
             ignore
               (Lcm_layer.reply lcm env ~app_tag:Ns_proto.app_tag
                  (Ntcs_wire.Convert.payload_raw (Ns_proto.pack_response resp)))

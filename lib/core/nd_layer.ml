@@ -305,20 +305,24 @@ let open_circuit t ~(phys : Phys_addr.t) =
   if t.closed then Error Errors.Circuit_failed
   else begin
     let cfg = t.node.Node.config in
-    let rec attempt n =
+    (* Fixed-interval open-retry (§2.2), expressed as a capped policy so the
+       one retry mechanism serves here too: ceiling = base disables the
+       exponential growth, jitter 0 keeps the historical cadence. *)
+    let policy =
+      Retry.policy
+        ~max_attempts:(cfg.Node.lvc_open_retries + 1)
+        ~base_delay_us:cfg.Node.lvc_retry_delay_us
+        ~max_delay_us:cfg.Node.lvc_retry_delay_us ~jitter_us:0 ()
+    in
+    let connect ~attempt:_ =
       match
         Std_if.connect ?allowed:t.allowed_nets t.node.Node.ipcs
           ~machine:(Node.machine t.node) ~dst:phys
       with
       | Ok lvc -> Ok lvc
-      | Error e ->
-        if n < cfg.Node.lvc_open_retries then begin
-          Sched.sleep (sched t) cfg.Node.lvc_retry_delay_us;
-          attempt (n + 1)
-        end
-        else Error (Errors.of_ipcs e)
+      | Error e -> Error (Errors.of_ipcs e)
     in
-    match attempt 0 with
+    match Retry.run (sched t) policy ~retryable:Errors.retryable connect with
     | Error _ as e -> e
     | Ok lvc -> (
       let hello_header =

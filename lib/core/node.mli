@@ -27,7 +27,17 @@ type config = {
       (** Ablation switch: always convert, never byte-copy (A1). *)
   lvc_open_retries : int;  (** ND retry-on-open (§2.2) *)
   lvc_retry_delay_us : int;
-  default_timeout_us : int;  (** send_sync / NSP request timeout *)
+  send_retry : Retry.policy;
+      (** LCM send recovery (§3.5): attempts through the address-fault
+          handler, exponential backoff between them. *)
+  ns_retry : Retry.policy;
+      (** NSP request recovery: full failover cycles over the replica
+          list. *)
+  default_timeout_us : int;
+      (** The single default deadline for every ALI/LCM primitive and NSP
+          request — a synchronous call's reply wait, an asynchronous send's
+          retry/backoff budget. Explicit [?timeout_us] overrides per
+          call. *)
   ns_cache_ttl_us : int;  (** NSP-layer cache lifetime; 0 = no caching *)
   well_known : well_known list;
 }

@@ -16,6 +16,7 @@ open Ntcs_wire
 type t = {
   node : Node.t;
   lcm : Lcm_layer.t;
+  rng : Ntcs_util.Rng.t; (* private stream for backoff jitter *)
   candidates : Addr.t list; (* well-known NS addresses, primary first *)
   name_cache : (string, Addr.t * int) Hashtbl.t; (* value, expiry (virtual us) *)
   entry_cache : (Addr.t, Ns_proto.entry * int) Hashtbl.t;
@@ -35,6 +36,7 @@ let create node lcm =
   {
     node;
     lcm;
+    rng = Ntcs_util.Rng.split (Ntcs_sim.World.rng (Node.world node));
     candidates;
     name_cache = Hashtbl.create 32;
     entry_cache = Hashtbl.create 32;
@@ -55,36 +57,46 @@ let error_of_string = function
   | "destination-dead" -> Errors.Destination_dead
   | s -> Errors.Internal ("name server: " ^ s)
 
-(* One NS round trip, failing over through the replica list. *)
+(* One NS round trip, failing over through the replica list. One failover
+   pass is one attempt of [Node.config.ns_retry]: when the whole list fails
+   with a transient error, the policy backs off and cycles again — an NS
+   briefly unreachable mid-reconfiguration is not yet "unavailable". Server
+   answers ([R_error ...]) are never retried: they are responses, not
+   transport failures. *)
 let request t (req : Ns_proto.request) =
   let payload = Convert.payload_raw (Ns_proto.pack_request req) in
-  let order =
-    match t.last_good with
-    | Some a -> a :: List.filter (fun c -> not (Addr.equal c a)) t.candidates
-    | None -> t.candidates
+  let one_pass ~attempt =
+    if attempt > 1 then Ntcs_util.Metrics.incr (metrics t) "nsp.retry_cycles";
+    let order =
+      match t.last_good with
+      | Some a -> a :: List.filter (fun c -> not (Addr.equal c a)) t.candidates
+      | None -> t.candidates
+    in
+    let rec failover = function
+      | [] -> Error Errors.Name_service_unavailable
+      | ns :: rest -> (
+        Ntcs_util.Metrics.incr (metrics t) "nsp.requests";
+        match
+          Lcm_layer.send_sync t.lcm ~dst:ns ~app_tag:Ns_proto.app_tag
+            ~timeout_us:t.node.Node.config.Node.default_timeout_us payload
+        with
+        | Error _ when rest <> [] ->
+          Ntcs_util.Metrics.incr (metrics t) "nsp.failovers";
+          failover rest
+        | Error _ -> Error Errors.Name_service_unavailable
+        | Ok env -> (
+          match Ns_proto.unpack_response env.Lcm_layer.data with
+          | Error m -> Error (Errors.Bad_message m)
+          | Ok (Ns_proto.R_error m) -> Error (error_of_string m)
+          | Ok resp ->
+            t.last_good <- Some ns;
+            Lcm_layer.set_ns_addr t.lcm ns;
+            Ok resp))
+    in
+    failover order
   in
-  let rec attempt = function
-    | [] -> Error Errors.Name_service_unavailable
-    | ns :: rest -> (
-      Ntcs_util.Metrics.incr (metrics t) "nsp.requests";
-      match
-        Lcm_layer.send_sync t.lcm ~dst:ns ~app_tag:Ns_proto.app_tag
-          ~timeout_us:t.node.Node.config.Node.default_timeout_us payload
-      with
-      | Error _ when rest <> [] ->
-        Ntcs_util.Metrics.incr (metrics t) "nsp.failovers";
-        attempt rest
-      | Error _ -> Error Errors.Name_service_unavailable
-      | Ok env -> (
-        match Ns_proto.unpack_response env.Lcm_layer.env_data with
-        | Error m -> Error (Errors.Bad_message m)
-        | Ok (Ns_proto.R_error m) -> Error (error_of_string m)
-        | Ok resp ->
-          t.last_good <- Some ns;
-          Lcm_layer.set_ns_addr t.lcm ns;
-          Ok resp))
-  in
-  attempt order
+  Retry.run (Node.sched t.node) ~rng:t.rng t.node.Node.config.Node.ns_retry
+    ~retryable:Errors.retryable one_pass
 
 let protocol_error = Errors.Bad_message "unexpected name-server response"
 

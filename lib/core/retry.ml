@@ -1,0 +1,63 @@
+(* The one retry/backoff policy mechanism for the whole ComMod.
+
+   Every layer that used to hand-roll a retry loop (the ND-layer's
+   open-with-retry, the LCM's address-fault recovery, the NSP's replica
+   failover) now declares a [policy] and calls [run]: bounded attempts,
+   exponential backoff with a hard ceiling, and seeded jitter drawn from the
+   caller's [Ntcs_util.Rng.t] so repeated failures desynchronise without
+   breaking determinism. [ntcs_lint] flags sleeps in ad-hoc loops outside
+   this module, so the discipline is enforced, not just encouraged. *)
+
+open Ntcs_sim
+
+type policy = {
+  max_attempts : int; (* total attempts, including the first; >= 1 *)
+  base_delay_us : int; (* backoff before the second attempt *)
+  max_delay_us : int; (* backoff ceiling *)
+  jitter_us : int; (* uniform seeded jitter added to each backoff *)
+}
+
+let policy ?(max_attempts = 3) ?(base_delay_us = 50_000) ?(max_delay_us = 800_000)
+    ?(jitter_us = 20_000) () =
+  {
+    max_attempts = max 1 max_attempts;
+    base_delay_us = max 0 base_delay_us;
+    max_delay_us = max 0 max_delay_us;
+    jitter_us = max 0 jitter_us;
+  }
+
+let no_retry = { max_attempts = 1; base_delay_us = 0; max_delay_us = 0; jitter_us = 0 }
+
+(* Backoff before attempt [attempt + 1], after the [attempt]th failure:
+   base * 2^(attempt-1), capped, plus jitter. *)
+let delay_us ?rng p ~attempt =
+  let shift = min 16 (max 0 (attempt - 1)) in
+  let capped = min p.max_delay_us (p.base_delay_us * (1 lsl shift)) in
+  let jitter =
+    match rng with
+    | Some rng when p.jitter_us > 0 -> Ntcs_util.Rng.int rng (p.jitter_us + 1)
+    | Some _ | None -> 0
+  in
+  capped + jitter
+
+let run sched ?rng ?deadline_us (p : policy) ~retryable
+    ?(on_retry = fun ~attempt:_ ~delay_us:_ _ -> ()) f =
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+      if attempt >= p.max_attempts || not (retryable e) then err
+      else begin
+        let d = delay_us ?rng p ~attempt in
+        match deadline_us with
+        | Some dl when Sched.now sched + d >= dl ->
+          (* The backoff alone would blow the caller's budget: give up with
+             the underlying error rather than sleeping past the deadline. *)
+          err
+        | Some _ | None ->
+          on_retry ~attempt ~delay_us:d e;
+          if d > 0 then Sched.sleep sched d;
+          go (attempt + 1)
+      end
+  in
+  go 1

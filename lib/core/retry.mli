@@ -1,0 +1,47 @@
+(** The one retry/backoff policy mechanism for the whole ComMod.
+
+    Layers declare a {!policy} and call {!run} instead of hand-rolling
+    retry loops: bounded attempts, exponential backoff with a ceiling, and
+    seeded jitter drawn from the caller's generator, so recovery is both
+    bounded and deterministic under the world seed. [ntcs_lint] flags
+    sleeps in ad-hoc loops outside this module. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first; >= 1 *)
+  base_delay_us : int;  (** backoff before the second attempt *)
+  max_delay_us : int;  (** backoff ceiling *)
+  jitter_us : int;  (** uniform seeded jitter added to each backoff *)
+}
+
+val policy :
+  ?max_attempts:int ->
+  ?base_delay_us:int ->
+  ?max_delay_us:int ->
+  ?jitter_us:int ->
+  unit ->
+  policy
+(** Defaults: 3 attempts, 50 ms base, 800 ms ceiling, 20 ms jitter. *)
+
+val no_retry : policy
+(** Exactly one attempt — for primitives that must not recover (datagrams,
+    liveness probes). *)
+
+val delay_us : ?rng:Ntcs_util.Rng.t -> policy -> attempt:int -> int
+(** Backoff after the [attempt]th failure: [base * 2^(attempt-1)], capped
+    at [max_delay_us], plus a jitter draw when [rng] is given. *)
+
+val run :
+  Ntcs_sim.Sched.t ->
+  ?rng:Ntcs_util.Rng.t ->
+  ?deadline_us:int ->
+  policy ->
+  retryable:('e -> bool) ->
+  ?on_retry:(attempt:int -> delay_us:int -> 'e -> unit) ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** [run sched p ~retryable f] calls [f ~attempt:1], [f ~attempt:2], ...
+    until one succeeds, an error fails [retryable], attempts are exhausted,
+    or the next backoff would sleep past [deadline_us] (virtual absolute
+    time) — the last error is returned as-is in every failure case.
+    [on_retry] fires before each backoff sleep, for counters and traces.
+    Blocking: call from inside a process. *)

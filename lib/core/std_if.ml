@@ -102,7 +102,10 @@ let of_mbx (chan : Ipcs_mbx.chan) =
         Ntcs_wire.Shift.put_word buf idx;
         Ntcs_wire.Shift.put_word buf count;
         Buffer.add_bytes buf (Bytes.sub data off len);
-        match Ipcs_mbx.send chan (Buffer.to_bytes buf) with
+        (* A single-fragment message is one whole ND frame on the ring: the
+           fault plane may drop/duplicate/reorder it. Fragments of a larger
+           frame must arrive whole and in order, so they are never marked. *)
+        match Ipcs_mbx.send ~droppable:(count = 1) chan (Buffer.to_bytes buf) with
         | Ok () -> go (idx + 1)
         | Error Ipcs_error.Queue_full ->
           (* Bounded mailbox: surface to the ND-layer, which backs off and
@@ -209,3 +212,23 @@ let listen_mbx ?path (ipcs : Registry.t) ~(machine : Machine.t) ~hint =
             | Error _ as e -> e);
         shutdown = (fun () -> Ipcs_mbx.close_mailbox mb);
       }
+
+(* --- the unified envelope ---
+
+   The one message-envelope record shared by every layer above the STD-IF:
+   the LCM constructs it from an IP-layer delivery, the ALI hands it to
+   applications, and [reply] consumes it unchanged. Upper layers re-export
+   it ([type envelope = Std_if.envelope = { ... }]) so [env.Lcm_layer.src]
+   and [env.Ali_layer.src] project the same record — there is exactly one
+   definition and no back-pointers. *)
+
+type envelope = {
+  src : Addr.t; (* who sent it (reply here) *)
+  kind : [ `Data | `Dgram ];
+  app_tag : int;
+  mode : Ntcs_wire.Convert.mode;
+  src_order : Ntcs_wire.Endian.order;
+  data : Bytes.t;
+  conv : int; (* nonzero: the sender is blocked awaiting a reply *)
+  seq : int; (* sender's LCM sequence number *)
+}

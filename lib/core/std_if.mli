@@ -58,3 +58,20 @@ val listen_mbx :
   machine:Machine.t ->
   hint:string ->
   (acceptor, Ipcs_error.t) result
+
+(** {1 The unified envelope} *)
+
+type envelope = {
+  src : Addr.t;  (** who sent it (reply here) *)
+  kind : [ `Data | `Dgram ];
+  app_tag : int;
+  mode : Ntcs_wire.Convert.mode;  (** how the payload was rendered *)
+  src_order : Ntcs_wire.Endian.order;
+  data : Bytes.t;
+  conv : int;  (** nonzero: the sender is blocked awaiting a reply *)
+  seq : int;  (** sender's LCM sequence number *)
+}
+(** The one message-envelope record shared by every layer above the STD-IF.
+    The LCM constructs it, the ALI hands it to applications, and [reply]
+    consumes it unchanged; upper layers re-export it so
+    [env.Lcm_layer.src] and [env.Ali_layer.src] project the same record. *)

@@ -21,10 +21,10 @@ let serve node () =
       (match Lcm_layer.recv lcm with
        | Error _ -> ()
        | Ok env ->
-         if env.Lcm_layer.env_app_tag = Drts_proto.error_log_tag then begin
-           if env.Lcm_layer.env_conv = 0 then begin
+         if env.Lcm_layer.app_tag = Drts_proto.error_log_tag then begin
+           if env.Lcm_layer.conv = 0 then begin
              match
-               Packed.run_unpack_result Drts_proto.log_record_codec env.Lcm_layer.env_data
+               Packed.run_unpack_result Drts_proto.log_record_codec env.Lcm_layer.data
              with
              | Error _ -> ()
              | Ok record ->
@@ -35,7 +35,7 @@ let serve node () =
            end
            else begin
              match
-               Packed.run_unpack_result Drts_proto.log_query_codec env.Lcm_layer.env_data
+               Packed.run_unpack_result Drts_proto.log_query_codec env.Lcm_layer.data
              with
              | Error _ -> ()
              | Ok (Drts_proto.L_count min_sev) ->

@@ -56,12 +56,12 @@ let serve node () =
       (match Lcm_layer.recv lcm with
        | Error _ -> ()
        | Ok env ->
-         if env.Lcm_layer.env_app_tag = Drts_proto.monitor_tag then begin
-           if env.Lcm_layer.env_conv = 0 then begin
+         if env.Lcm_layer.app_tag = Drts_proto.monitor_tag then begin
+           if env.Lcm_layer.conv = 0 then begin
              (* A report datagram. *)
              match
                Packed.run_unpack_result Drts_proto.monitor_record_codec
-                 env.Lcm_layer.env_data
+                 env.Lcm_layer.data
              with
              | Error _ -> ()
              | Ok record ->
@@ -75,7 +75,7 @@ let serve node () =
            else begin
              (* A query. *)
              match
-               Packed.run_unpack_result Drts_proto.monitor_query_codec env.Lcm_layer.env_data
+               Packed.run_unpack_result Drts_proto.monitor_query_codec env.Lcm_layer.data
              with
              | Error _ -> ()
              | Ok Drts_proto.Q_stats ->

@@ -28,7 +28,7 @@ let serve node () =
       match Lcm_layer.recv lcm with
       | Error _ -> loop ()
       | Ok env ->
-        if env.Lcm_layer.env_app_tag = Drts_proto.time_tag && env.Lcm_layer.env_conv <> 0
+        if env.Lcm_layer.app_tag = Drts_proto.time_tag && env.Lcm_layer.conv <> 0
         then begin
           let reply =
             Packed.run_pack Drts_proto.time_reply_codec

@@ -160,7 +160,12 @@ let accept ?timeout_us (mb : mailbox) =
 
 let is_open (c : chan) = c.c_near.ce_open && not c.c_near.ce_peer_gone
 
-let send (c : chan) (data : Bytes.t) =
+let send ?(droppable = false) (c : chan) (data : Bytes.t) =
+  (* [droppable]: the caller (the STD-IF, which owns fragmentation) marks
+     ring messages that carry one whole ND frame; only those may be dropped,
+     duplicated or reordered by an installed fault plane. Fragments of a
+     larger frame are not droppable — losing one would wedge reassembly
+     rather than model a lost message. *)
   if not c.c_near.ce_open then Error Ipcs_error.Closed
   else if c.c_near.ce_peer_gone then Error Ipcs_error.Closed
   else if Bytes.length data > max_message_size then Error Ipcs_error.Too_big
@@ -171,7 +176,7 @@ let send (c : chan) (data : Bytes.t) =
     if Ntcs_util.Bqueue.is_full c.c_far.inbox then Error Ipcs_error.Queue_full
     else begin
       let sent =
-        World.transmit ~fifo:c.c_far.ce_fifo c.c_stack.world ~net:c.c_net
+        World.transmit ~fifo:c.c_far.ce_fifo ~droppable c.c_stack.world ~net:c.c_net
           ~src:c.c_near.ce_machine ~dst:c.c_far.ce_machine ~size:(Bytes.length data + 24)
           (fun () ->
             if c.c_far.ce_open then begin

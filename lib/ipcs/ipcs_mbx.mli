@@ -36,9 +36,13 @@ val open_chan :
 
 val accept : ?timeout_us:int -> mailbox -> (chan, Ipcs_error.t) result
 
-val send : chan -> Bytes.t -> (unit, Ipcs_error.t) result
+val send : ?droppable:bool -> chan -> Bytes.t -> (unit, Ipcs_error.t) result
 (** Whole-message send. [Queue_full] when the peer's bounded inbox is full;
-    [Too_big] above {!max_message_size}. *)
+    [Too_big] above {!max_message_size}. [droppable] (default [false]) marks
+    a message carrying one whole ND frame — only those are subject to the
+    fault plane's drop/duplicate/reorder rules; fragments of a larger frame
+    never are (losing one would wedge reassembly, not model a lost
+    message). *)
 
 val recv : ?timeout_us:int -> chan -> (Bytes.t, Ipcs_error.t) result
 (** Next whole message, boundaries preserved, in order. *)

@@ -190,13 +190,20 @@ let send (c : conn) (data : Bytes.t) =
   else if c.near.broken then Error Ipcs_error.Closed
   else begin
     let total = Bytes.length data in
+    (* A write that fits one segment is one whole framed ND message on the
+       wire (the STD-IF sends exactly one message per write): the fault
+       plane may drop/duplicate/reorder it without desynchronising the
+       receiver's framing. Segments of a larger write are not droppable —
+       this simulated TCP has no retransmission, so losing one would corrupt
+       the stream rather than model any real failure. *)
+    let droppable = total <= mss in
     let rec push_segments off ok =
       if (not ok) || off >= total then ok
       else begin
         let len = min mss (total - off) in
         let seg = Bytes.sub data off len in
         let sent =
-          World.transmit ~fifo:c.far.arrival_fifo c.stack.world ~net:c.net
+          World.transmit ~fifo:c.far.arrival_fifo ~droppable c.stack.world ~net:c.net
             ~src:c.near.ep_machine ~dst:c.far.ep_machine ~size:(len + 40) (fun () ->
               if c.far.ep_open then deliver_segment c.far seg)
         in

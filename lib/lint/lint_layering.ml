@@ -1,8 +1,10 @@
-(* R1: layer discipline. Three lexical checks per file:
+(* R1: layer discipline. Four lexical checks per file:
 
    - references must point downward (or sideways) in the layer ranking;
    - only the ND layer, STD-IF and lib/ipcs may name an IPCS backend;
-   - only the IP layer (and lib/wire itself) may select a conversion mode.
+   - only the IP layer (and lib/wire itself) may select a conversion mode;
+   - only the Retry policy module sleeps inside lib/core (ad-hoc backoff
+     loops drift from the one bounded, jittered policy).
 
    All on blanked text, so comments and strings can't trip it; all
    suppressible with `lint: allow layering(<module>) — reason`. *)
@@ -56,5 +58,19 @@ let check (src : Lint_lex.source) =
                 (Printf.sprintf
                    "%s calls %s: only Ip_layer selects a conversion mode (\xc2\xa75)" self pat))
           Lint_rules.conversion_selectors)
+      (Lint_lex.lines src.Lint_lex.src_blank);
+  (* Retry discipline. *)
+  if not (Lint_rules.may_sleep file) then
+    List.iteri
+      (fun idx line ->
+        let lineno = idx + 1 in
+        List.iter
+          (fun pat ->
+            if Lint_lex.line_has_token line pat && not (allowed ~arg:pat ~line:lineno) then
+              add ~line:lineno
+                (Printf.sprintf
+                   "%s calls %s: lib/core recovers through Retry.run, not ad-hoc sleeps" self
+                   pat))
+          Lint_rules.sleep_calls)
       (Lint_lex.lines src.Lint_lex.src_blank);
   Lint_diag.sort !diags

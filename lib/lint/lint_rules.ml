@@ -88,6 +88,17 @@ let may_select_conversion path =
 
 let conversion_selectors = [ "Convert.choose"; "Convert.force" ]
 
+(* Retry discipline: the ComMod layers (lib/core) recover through the one
+   [Retry] policy module. A bare [Sched.sleep] anywhere else in lib/core is
+   a hand-rolled backoff loop waiting to drift from the policy — bounded
+   differently, jittered differently, or not at all. Applications, services
+   and the sim itself may sleep freely. *)
+let may_sleep path =
+  let p = norm path in
+  (not (has_sub ~sub:"lib/core/" p)) || String.equal (module_of_file p) "Retry"
+
+let sleep_calls = [ "Sched.sleep" ]
+
 type det_rule = {
   d_pat : string;  (** dotted path to match, word-bounded *)
   d_why : string;
@@ -103,6 +114,12 @@ let det_rules =
     { d_pat = "Sys.time"; d_why = "process time; use virtual time (Node.now)";
       d_everywhere = true };
     { d_pat = "Obj.magic"; d_why = "defeats the type system; never on a protocol path";
+      d_everywhere = true };
+    { d_pat = "Unix.sleep";
+      d_why = "blocks the host thread outside virtual time; use Retry.run or Sched.sleep";
+      d_everywhere = true };
+    { d_pat = "Unix.sleepf";
+      d_why = "blocks the host thread outside virtual time; use Retry.run or Sched.sleep";
       d_everywhere = true };
     { d_pat = "Hashtbl.iter";
       d_why = "hash-order iteration is nondeterministic; use Ntcs_util.sorted_bindings";

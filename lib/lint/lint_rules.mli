@@ -27,6 +27,12 @@ val may_select_conversion : string -> bool
 
 val conversion_selectors : string list
 
+val may_sleep : string -> bool
+(** May this file call [Sched.sleep] directly? False only inside lib/core,
+    where all backoff belongs to the [Retry] policy module. *)
+
+val sleep_calls : string list
+
 type det_rule = { d_pat : string; d_why : string; d_everywhere : bool }
 
 val det_rules : det_rule list

@@ -15,6 +15,7 @@ type t = {
   mutable next_machine_id : int;
   mutable next_net_id : int;
   mutable seed : int;
+  mutable faults : Faults.t option;
 }
 
 let create ?(seed = 42) () =
@@ -30,6 +31,7 @@ let create ?(seed = 42) () =
     next_machine_id = 1;
     next_net_id = 1;
     seed;
+    faults = None;
   }
 
 let sched t = t.sched
@@ -110,6 +112,71 @@ let crash_machine t (m : Machine.t) =
 
 let restart_machine _t (m : Machine.t) = m.up <- true
 
+(* --- the fault plane --- *)
+
+let faults t = t.faults
+
+let machine_by_name t name =
+  List.find_opt (fun (m : Machine.t) -> m.name = name) (all_machines t)
+
+let net_by_name t name = List.find_opt (fun (n : Net.t) -> n.name = name) (all_nets t)
+
+(* One scheduled fault event fires: resolve the names against this world and
+   apply it. Unknown names are traced rather than raised — a schedule is
+   data, and exploration reruns must not die on a typo. *)
+let apply_fault_event t (f : Faults.t) (ev : Faults.event) =
+  let fault_trace cat detail = record t ~cat ~actor:"faults" detail in
+  match ev with
+  | Faults.Crash name -> (
+    match machine_by_name t name with
+    | Some m ->
+      fault_trace "fault.crash" name;
+      crash_machine t m
+    | None -> fault_trace "fault.error" ("no such machine: " ^ name))
+  | Faults.Restart name -> (
+    match machine_by_name t name with
+    | Some m ->
+      fault_trace "fault.restart" name;
+      restart_machine t m
+    | None -> fault_trace "fault.error" ("no such machine: " ^ name))
+  | Faults.Partition groups ->
+    let ids =
+      List.map (List.filter_map (fun name ->
+          match machine_by_name t name with
+          | Some m -> Some m.Machine.id
+          | None ->
+            fault_trace "fault.error" ("no such machine: " ^ name);
+            None))
+        groups
+    in
+    fault_trace "fault.partition"
+      (String.concat " | " (List.map (String.concat ",") groups));
+    Faults.block_groups f ids
+  | Faults.Heal ->
+    fault_trace "fault.heal" "";
+    Faults.clear_partition f
+  | Faults.Net_down name -> (
+    match net_by_name t name with
+    | Some n ->
+      fault_trace "fault.net_down" name;
+      n.Net.up <- false
+    | None -> fault_trace "fault.error" ("no such net: " ^ name))
+  | Faults.Net_up name -> (
+    match net_by_name t name with
+    | Some n ->
+      fault_trace "fault.net_up" name;
+      n.Net.up <- true
+    | None -> fault_trace "fault.error" ("no such net: " ^ name))
+
+(* Arm a fault plane on this world: point its trace emitter at ours and
+   register every scheduled event on the scheduler. *)
+let install_faults t (f : Faults.t) =
+  t.faults <- Some f;
+  Faults.set_emit f (fun ~cat ~detail -> record t ~cat ~actor:"faults" detail);
+  List.iter
+    (fun (at_us, ev) -> Sched.at t.sched at_us (fun () -> apply_fault_event t f ev))
+    (Faults.schedule f)
+
 (* Schedule delivery of [size] bytes from [src] to [dst] over [net]; returns
    false when the attempt cannot even leave (partition, crash, detachment).
    The callback re-checks destination liveness at delivery time so a machine
@@ -117,11 +184,26 @@ let restart_machine _t (m : Machine.t) = m.up <- true
 
    [fifo], when given, is a per-flow high-water mark: arrival times are
    forced monotone so a flow (e.g. one direction of a TCP connection) never
-   reorders even though each transmission draws independent jitter. *)
-let transmit ?fifo t ~net:(n : Net.t) ~src:(src : Machine.t) ~dst:(dst : Machine.t) ~size
-    deliver =
+   reorders even though each transmission draws independent jitter.
+
+   [droppable] marks a transmission carrying one whole, self-contained ND
+   frame: only those may be dropped, duplicated or reordered by an installed
+   fault plane (losing part of a frame would desynchronise framing, which no
+   real network failure produces). A reordered frame is delivered late
+   {e without} advancing the flow's high-water mark, so later frames
+   overtake it; a delayed frame advances the mark and stalls the flow. *)
+let transmit ?fifo ?(droppable = false) t ~net:(n : Net.t) ~src:(src : Machine.t)
+    ~dst:(dst : Machine.t) ~size deliver =
+  let partitioned =
+    match t.faults with
+    | Some f when Faults.blocked f src.id dst.id ->
+      Faults.note_blocked f;
+      Ntcs_util.Metrics.incr t.metrics "fault.blocked_frames";
+      true
+    | Some _ | None -> false
+  in
   if
-    (not src.up) || (not dst.up) || (not n.up)
+    partitioned || (not src.up) || (not dst.up) || (not n.up)
     || (not (attached t src.id n.id))
     || not (attached t dst.id n.id)
   then false
@@ -129,19 +211,54 @@ let transmit ?fifo t ~net:(n : Net.t) ~src:(src : Machine.t) ~dst:(dst : Machine
     match Net.latency n ~size with
     | None -> false
     | Some lat ->
-      Ntcs_util.Metrics.incr t.metrics "net.bytes" ~by:size;
-      Ntcs_util.Metrics.incr t.metrics "net.frames";
-      let arrival = Sched.now t.sched + lat in
-      let arrival =
-        match fifo with
-        | Some r ->
-          let a = max arrival !r in
-          r := a;
-          a
-        | None -> arrival
+      let action =
+        match t.faults with
+        | Some f when droppable ->
+          Faults.frame_action f ~now:(Sched.now t.sched) ~net:n.id ~src:src.name
+            ~dst:dst.name
+        | Some _ | None -> Faults.Deliver
       in
-      Sched.at t.sched arrival (fun () -> if dst.up && n.up then deliver ());
-      true
+      match action with
+      | Faults.Drop ->
+        (* The bytes left the source and died on the wire: the sender sees
+           success, the receiver sees nothing — exactly a lost frame. *)
+        Ntcs_util.Metrics.incr t.metrics "fault.dropped_frames";
+        true
+      | Faults.Deliver | Faults.Duplicate | Faults.Delay _ | Faults.Reorder _ ->
+        Ntcs_util.Metrics.incr t.metrics "net.bytes" ~by:size;
+        Ntcs_util.Metrics.incr t.metrics "net.frames";
+        let natural = Sched.now t.sched + lat in
+        let schedule_at arrival =
+          Sched.at t.sched arrival (fun () -> if dst.up && n.up then deliver ())
+        in
+        let fifo_arrival arrival =
+          match fifo with
+          | Some r ->
+            let a = max arrival !r in
+            r := a;
+            a
+          | None -> arrival
+        in
+        (match action with
+         | Faults.Drop -> assert false
+         | Faults.Deliver -> schedule_at (fifo_arrival natural)
+         | Faults.Duplicate ->
+           (* Two copies, in flow order: the duplicate trails the original. *)
+           let first = fifo_arrival natural in
+           schedule_at first;
+           schedule_at (fifo_arrival (first + 1));
+           Ntcs_util.Metrics.incr t.metrics "fault.duplicated_frames"
+         | Faults.Delay extra ->
+           schedule_at (fifo_arrival (natural + extra));
+           Ntcs_util.Metrics.incr t.metrics "fault.delayed_frames"
+         | Faults.Reorder extra ->
+           (* Late delivery that does not advance the high-water mark: this
+              frame still arrives after everything already sent on the flow,
+              but later frames overtake it. *)
+           let base = match fifo with Some r -> max natural !r | None -> natural in
+           schedule_at (base + extra);
+           Ntcs_util.Metrics.incr t.metrics "fault.reordered_frames");
+        true
   end
 
 let run ?until t = Sched.run ?until t.sched

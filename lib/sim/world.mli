@@ -51,10 +51,21 @@ val crash_machine : t -> Machine.t -> unit
 
 val restart_machine : t -> Machine.t -> unit
 
+(** {1 Fault plane} *)
+
+val install_faults : t -> Faults.t -> unit
+(** Arm a fault plane on this world: its scheduled events (crashes,
+    restarts, partitions, heals, net outages) are registered on the
+    scheduler, every injection is emitted as a [fault.*] trace event, and
+    {!transmit} consults it for every frame from now on. *)
+
+val faults : t -> Faults.t option
+
 (** {1 Transmission} *)
 
 val transmit :
   ?fifo:int ref ->
+  ?droppable:bool ->
   t ->
   net:Net.t ->
   src:Machine.t ->
@@ -67,6 +78,11 @@ val transmit :
     liveness at delivery time, so a machine crashing mid-flight swallows the
     bytes. [fifo] is a per-flow high-water mark forcing monotone arrivals
     (e.g. one direction of a TCP connection), so jitter never reorders a
-    flow. *)
+    flow.
+
+    [droppable] (default [false]) marks a transmission carrying one whole,
+    self-contained ND frame; only those may be dropped, duplicated or
+    reordered by an installed fault plane. A dropped frame still returns
+    [true] — the sender saw it leave; it died on the wire. *)
 
 val run : ?until:int -> t -> unit

@@ -28,10 +28,10 @@ let index_server_body docs commod =
     (match Lcm_layer.recv lcm with
      | Error _ -> ()
      | Ok env ->
-       if env.Lcm_layer.env_app_tag = Ursa_msg.index_tag && env.Lcm_layer.env_conv <> 0
+       if env.Lcm_layer.app_tag = Ursa_msg.index_tag && env.Lcm_layer.conv <> 0
        then begin
          match
-           Packed.run_unpack_result Ursa_msg.term_query_codec env.Lcm_layer.env_data
+           Packed.run_unpack_result Ursa_msg.term_query_codec env.Lcm_layer.data
          with
          | Error _ -> ()
          | Ok q ->
@@ -73,9 +73,9 @@ let doc_server_body docs commod =
     (match Lcm_layer.recv lcm with
      | Error _ -> ()
      | Ok env ->
-       if env.Lcm_layer.env_app_tag = Ursa_msg.doc_tag && env.Lcm_layer.env_conv <> 0
+       if env.Lcm_layer.app_tag = Ursa_msg.doc_tag && env.Lcm_layer.conv <> 0
        then begin
-         match Packed.run_unpack_result Ursa_msg.doc_request_codec env.Lcm_layer.env_data with
+         match Packed.run_unpack_result Ursa_msg.doc_request_codec env.Lcm_layer.data with
          | Error _ -> ()
          | Ok q ->
            let reply =
@@ -167,10 +167,10 @@ let search_server_body commod =
     (match Lcm_layer.recv lcm with
      | Error _ -> ()
      | Ok env ->
-       if env.Lcm_layer.env_app_tag = Ursa_msg.search_tag && env.Lcm_layer.env_conv <> 0
+       if env.Lcm_layer.app_tag = Ursa_msg.search_tag && env.Lcm_layer.conv <> 0
        then begin
          match
-           Packed.run_unpack_result Ursa_msg.search_request_codec env.Lcm_layer.env_data
+           Packed.run_unpack_result Ursa_msg.search_request_codec env.Lcm_layer.data
          with
          | Error _ -> ()
          | Ok q ->

@@ -73,7 +73,7 @@ let spawn_echo ?(attrs = []) ?hits cluster ~machine ~name =
              (match Ali_layer.receive commod with
               | Ok env ->
                 (match hits with Some r -> incr r | None -> ());
-                if env.Ali_layer.expects_reply then
+                if Ali_layer.expects_reply env then
                   ignore
                     (Ali_layer.reply commod env
                        (raw_bytes (Bytes.cat (Bytes.of_string "echo:") env.Ali_layer.data)))

@@ -57,6 +57,52 @@ let test_trace_identical () =
   Alcotest.(check bool) "trace is non-trivial" true
     (List.length (String.split_on_char '\n' t1) > 50)
 
+(* The same workload under an armed fault plane: delaying and duplicating
+   links plus a crash/restart of an idle machine. Injections draw from the
+   plane's seeded stream, so the whole faulty run — injections included —
+   must still be byte-reproducible. *)
+let run_once_faulty seed =
+  let c = two_net_cluster ~seed () in
+  Ntcs_sim.World.install_faults (Cluster.world c)
+    (Ntcs_sim.Faults.create
+       ~rules:
+         [ Ntcs_sim.Faults.rule ~from_us:4_000_000 ~dup:0.1 ~delay:0.3 ~delay_us:25_000 () ]
+       ~schedule:
+         [
+           (5_000_000, Ntcs_sim.Faults.Crash "ap1");
+           (7_000_000, Ntcs_sim.Faults.Restart "ap1");
+         ]
+       ~seed:13 ());
+  Cluster.settle c;
+  spawn_echo c ~machine:"ap2" ~name:"svc";
+  Cluster.settle c;
+  let got = ref None in
+  ignore
+    (Cluster.spawn c ~machine:"vax1" ~name:"user" (fun node ->
+         let commod = bind_exn node ~name:"user" in
+         let addr = check_ok "locate" (Ali_layer.locate commod "svc") in
+         Ntcs_sim.Sched.sleep (Node.sched node) 4_000_000;
+         got := Some (check_ok "faulty echo" (Ali_layer.send_sync commod ~dst:addr (raw "f")))));
+  Cluster.settle ~dt:20_000_000 c;
+  (match !got with
+   | Some env -> Alcotest.(check string) "echo under faults" "echo:f" (body env)
+   | None -> Alcotest.fail "no faulty echo");
+  let trace_txt = Fmt.str "%a" Ntcs_sim.Trace.dump (Ntcs_sim.World.trace (Cluster.world c)) in
+  let metrics_txt = Fmt.str "%a" Ntcs_util.Metrics.pp (Cluster.metrics c) in
+  let entries = Ntcs_sim.Trace.entries (Ntcs_sim.World.trace (Cluster.world c)) in
+  (trace_txt, metrics_txt, entries)
+
+let test_faulty_trace_identical () =
+  let t1, m1, entries = run_once_faulty 42 in
+  let t2, m2, _ = run_once_faulty 42 in
+  check_same "faulty trace" t1 t2;
+  check_same "faulty metrics" m1 m2;
+  let injected cat = List.exists (fun e -> e.Ntcs_sim.Trace.cat = cat) entries in
+  Alcotest.(check bool) "crash fired" true (injected "fault.crash");
+  Alcotest.(check bool) "restart fired" true (injected "fault.restart");
+  Alcotest.(check bool) "frame faults fired" true
+    (injected "fault.dup" || injected "fault.delay")
+
 let test_seed_matters () =
   (* Sanity that the comparison has teeth: a different seed must move
      something in the virtual timeline. *)
@@ -84,6 +130,7 @@ let () =
       ( "golden",
         [
           Alcotest.test_case "same seed, same bytes" `Quick test_trace_identical;
+          Alcotest.test_case "same seed, same faulty bytes" `Quick test_faulty_trace_identical;
           Alcotest.test_case "different seed differs" `Quick test_seed_matters;
           Alcotest.test_case "R3 invariants hold" `Quick test_r3_invariants_hold;
         ] );

@@ -41,7 +41,7 @@ let slow_server c =
       let commod = bind_exn node ~name:"slow-svc" in
       let rec loop () =
         (match Ali_layer.receive commod with
-         | Ok env when env.Ali_layer.expects_reply ->
+         | Ok env when Ali_layer.expects_reply env ->
            Ntcs_sim.Sched.sleep (Node.sched node) 5_000_000;
            ignore (Ali_layer.reply commod env (raw "late"))
          | Ok _ | Error _ -> ());
@@ -186,7 +186,7 @@ let test_double_crash_and_replacement () =
         (fun commod ->
           let rec loop () =
             (match Ali_layer.receive commod with
-             | Ok env when env.Ali_layer.expects_reply ->
+             | Ok env when Ali_layer.expects_reply env ->
                ignore (Ali_layer.reply commod env (raw tag))
              | Ok _ | Error _ -> ());
             loop ()
@@ -277,7 +277,7 @@ let test_late_reply_after_tadd_purge () =
     (Cluster.spawn c ~machine:"sun1" ~name:"slowpoke" (fun node ->
          let commod = bind_exn node ~name:"slowpoke" in
          match Ali_layer.receive commod with
-         | Ok env when env.Ali_layer.expects_reply ->
+         | Ok env when Ali_layer.expects_reply env ->
            Ntcs_sim.Sched.sleep (Node.sched node) 1_000_000;
            (match Ali_layer.reply commod env (raw "late-but-delivered") with
             | Ok () -> ()

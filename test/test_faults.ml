@@ -1,0 +1,245 @@
+(* The fault plane and the recovery machinery it exercises.
+
+   - Determinism: the same world seed + the same fault spec must reproduce
+     the same injections and the same trace, byte for byte; a different
+     fault seed must move something.
+   - Injection: rules and scheduled events actually fire, are counted, and
+     appear as fault.* trace events.
+   - Recovery: a partitioned service heals through the LCM retry policy and
+     the retry counters surface in [Lcm_layer.stats].
+   - Gateway idempotence: duplicated open/control frames (dup probability
+     1.0 on every droppable frame) must not double-splice or double-close an
+     IVC — the §4.3 teardown-ordering regression.
+   - The [Retry] policy itself: deterministic backoff, bounded attempts,
+     permanent errors and deadlines cut the loop. *)
+
+open Ntcs
+open Helpers
+
+(* One faulty workload: lossy, duplicating, delaying LAN plus a 4s partition
+   of the service's machine, and an app that keeps resending until the echo
+   comes back. Returns (trace text, metrics text, cluster). *)
+let faulty_run ?(fault_seed = 7) () =
+  let c = lan_cluster ~seed:42 () in
+  Ntcs_sim.World.install_faults (Cluster.world c)
+    (Ntcs_sim.Faults.create
+       ~rules:
+         [
+           Ntcs_sim.Faults.rule ~from_us:5_000_000 ~until_us:15_000_000 ~drop:0.15 ~dup:0.1
+             ~delay:0.3 ~delay_us:20_000 ();
+         ]
+       ~schedule:
+         [
+           (6_000_000, Ntcs_sim.Faults.Partition [ [ "sun1" ]; [ "vax1"; "sun2" ] ]);
+           (10_000_000, Ntcs_sim.Faults.Heal);
+         ]
+       ~seed:fault_seed ());
+  Cluster.settle c;
+  spawn_echo c ~machine:"sun1" ~name:"svc";
+  Cluster.settle c;
+  let recovered = ref false in
+  let stats = ref None in
+  ignore
+    (Cluster.spawn c ~machine:"sun2" ~name:"app" (fun node ->
+         let commod = bind_exn node ~name:"app" in
+         let addr = check_ok "locate" (Ali_layer.locate commod "svc") in
+         ignore (check_ok "warm-up" (Ali_layer.send_sync commod ~dst:addr (raw "warm")));
+         let sched = Node.sched node in
+         Ntcs_sim.Sched.sleep sched 3_000_000;
+         let rec chase () =
+           if Ntcs_sim.Sched.now sched > 35_000_000 then ()
+           else
+             match Ali_layer.send_sync commod ~dst:addr ~timeout_us:1_000_000 (raw "hi") with
+             | Ok env ->
+               Alcotest.(check string) "echo after heal" "echo:hi" (body env);
+               recovered := true
+             | Error _ ->
+               Ntcs_sim.Sched.sleep sched 1_000_000;
+               chase ()
+         in
+         chase ();
+         stats := Some (Ali_layer.stats commod)));
+  Cluster.settle ~dt:40_000_000 c;
+  Alcotest.(check bool) "app recovered after heal" true !recovered;
+  let trace_txt = Fmt.str "%a" Ntcs_sim.Trace.dump (Ntcs_sim.World.trace (Cluster.world c)) in
+  let metrics_txt = Fmt.str "%a" Ntcs_util.Metrics.pp (Cluster.metrics c) in
+  (trace_txt, metrics_txt, c, !stats)
+
+let check_same label a b =
+  if not (String.equal a b) then begin
+    let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+    let rec first_diff i = function
+      | x :: xs, y :: ys -> if String.equal x y then first_diff (i + 1) (xs, ys) else (i, x, y)
+      | x :: _, [] -> (i, x, "<missing>")
+      | [], y :: _ -> (i, "<missing>", y)
+      | [], [] -> (i, "<equal?>", "<equal?>")
+    in
+    let i, x, y = first_diff 1 (la, lb) in
+    Alcotest.failf "%s: runs diverge at line %d:@.  run1: %s@.  run2: %s" label i x y
+  end
+
+let test_same_seed_same_faults () =
+  let t1, m1, _, _ = faulty_run () in
+  let t2, m2, _, _ = faulty_run () in
+  check_same "faulty trace" t1 t2;
+  check_same "faulty metrics" m1 m2
+
+let test_fault_seed_matters () =
+  let t1, _, _, _ = faulty_run ~fault_seed:7 () in
+  let t2, _, _, _ = faulty_run ~fault_seed:8 () in
+  Alcotest.(check bool) "different fault seeds diverge" false (String.equal t1 t2)
+
+let test_faults_injected_and_traced () =
+  let _, _, c, stats = faulty_run () in
+  let f =
+    match Ntcs_sim.World.faults (Cluster.world c) with
+    | Some f -> f
+    | None -> Alcotest.fail "fault plane not installed"
+  in
+  let k = Ntcs_sim.Faults.counters f in
+  Alcotest.(check bool) "frames dropped" true (k.Ntcs_sim.Faults.dropped > 0);
+  Alcotest.(check bool) "frames duplicated" true (k.Ntcs_sim.Faults.duplicated > 0);
+  Alcotest.(check bool) "frames blocked by partition" true (k.Ntcs_sim.Faults.blocked > 0);
+  let has cat =
+    Ntcs_sim.Trace.matching (Ntcs_sim.World.trace (Cluster.world c)) ~cat <> []
+  in
+  Alcotest.(check bool) "fault.partition traced" true (has "fault.partition");
+  Alcotest.(check bool) "fault.heal traced" true (has "fault.heal");
+  Alcotest.(check bool) "fault.drop traced" true (has "fault.drop");
+  (* The outage engaged the LCM recovery, and the counters surface in the
+     per-module stats the ALI exposes. *)
+  match stats with
+  | None -> Alcotest.fail "no app stats"
+  | Some s ->
+    Alcotest.(check bool) "retries counted" true (s.Lcm_layer.st_retries > 0);
+    Alcotest.(check bool) "backoff time counted" true (s.Lcm_layer.st_backoff_us > 0)
+
+(* Every droppable frame duplicated: the gateway sees each chained open (and
+   every control/data frame that fits one segment) twice. The splice must
+   commit once, traffic must still flow, and teardown must close each leg
+   exactly once — the lifecycle automaton replay catches any double-close. *)
+let test_gateway_duplicate_open_idempotent () =
+  let c = two_net_cluster ~seed:5 () in
+  Ntcs_sim.World.install_faults (Cluster.world c)
+    (Ntcs_sim.Faults.create
+       ~rules:[ Ntcs_sim.Faults.rule ~from_us:3_000_000 ~until_us:20_000_000 ~dup:1.0 () ]
+       ~seed:11 ());
+  Cluster.settle c;
+  spawn_echo c ~machine:"ap1" ~name:"svc";
+  Cluster.settle c;
+  let get =
+    in_process c ~machine:"vax1" ~name:"app" (fun node ->
+        let commod = bind_exn node ~name:"app" in
+        let addr = check_ok "locate" (Ali_layer.locate commod "svc") in
+        check_ok "cross-gateway echo" (Ali_layer.send_sync commod ~dst:addr (raw "dup")))
+  in
+  Cluster.settle ~dt:30_000_000 c;
+  Alcotest.(check string) "echo across gateway under dup=1.0" "echo:dup" (body (get ()));
+  Alcotest.(check bool) "duplicate opens were seen and dropped" true
+    (Ntcs_util.Metrics.get (Cluster.metrics c) "gw.duplicate_opens" > 0);
+  let entries = Ntcs_sim.Trace.entries (Ntcs_sim.World.trace (Cluster.world c)) in
+  (match Check_lifecycle.check entries with
+   | [] -> ()
+   | vs ->
+     Alcotest.failf "lifecycle violations under duplication:@.%s"
+       (String.concat "\n" (List.map (Fmt.str "%a" Lint_trace.pp_violation) vs)));
+  (* No splice leg may be torn down twice: gw.close details are unique. *)
+  let closes =
+    Ntcs_sim.Trace.matching (Ntcs_sim.World.trace (Cluster.world c)) ~cat:"gw.close"
+    |> List.map (fun (e : Ntcs_sim.Trace.entry) -> e.detail)
+  in
+  Alcotest.(check int) "each splice closed at most once"
+    (List.length (List.sort_uniq compare closes))
+    (List.length closes)
+
+(* --- the Retry policy itself --- *)
+
+let test_backoff_deterministic () =
+  let p = Retry.policy () in
+  Alcotest.(check (list int)) "exponential backoff with ceiling"
+    [ 50_000; 100_000; 200_000; 400_000; 800_000; 800_000 ]
+    (List.map (fun attempt -> Retry.delay_us p ~attempt) [ 1; 2; 3; 4; 5; 6 ])
+
+let test_retry_bounded_attempts () =
+  let c = lan_cluster () in
+  let calls = ref 0 and retries = ref 0 in
+  let get =
+    in_process c ~machine:"sun1" ~name:"r" (fun node ->
+        Retry.run (Node.sched node)
+          (Retry.policy ~max_attempts:4 ~base_delay_us:10_000 ~max_delay_us:80_000
+             ~jitter_us:0 ())
+          ~retryable:Errors.retryable
+          ~on_retry:(fun ~attempt:_ ~delay_us:_ _ -> incr retries)
+          (fun ~attempt:_ ->
+            incr calls;
+            Error Errors.Timeout))
+  in
+  Cluster.settle c;
+  check_err "exhausted retries return the last error" Errors.Timeout (get ());
+  Alcotest.(check int) "all attempts made" 4 !calls;
+  Alcotest.(check int) "a backoff between each pair" 3 !retries
+
+let test_retry_permanent_error_aborts () =
+  let c = lan_cluster () in
+  let calls = ref 0 in
+  let get =
+    in_process c ~machine:"sun1" ~name:"r" (fun node ->
+        Retry.run (Node.sched node)
+          (Retry.policy ~max_attempts:5 ())
+          ~retryable:Errors.retryable
+          (fun ~attempt:_ ->
+            incr calls;
+            Error Errors.Unknown_name))
+  in
+  Cluster.settle c;
+  check_err "permanent error returned" Errors.Unknown_name (get ());
+  Alcotest.(check int) "no retry on a permanent error" 1 !calls
+
+let test_retry_deadline_cuts_backoff () =
+  let c = lan_cluster () in
+  let calls = ref 0 in
+  let get =
+    in_process c ~machine:"sun1" ~name:"r" (fun node ->
+        let sched = Node.sched node in
+        (* Backoff 50ms, deadline 75ms out: attempt 1 fails, one backoff
+           fits, attempt 2 fails, the second backoff would cross. *)
+        Retry.run sched
+          ~deadline_us:(Ntcs_sim.Sched.now sched + 75_000)
+          (Retry.policy ~max_attempts:10 ~base_delay_us:50_000 ~max_delay_us:50_000
+             ~jitter_us:0 ())
+          ~retryable:Errors.retryable
+          (fun ~attempt:_ ->
+            incr calls;
+            Error Errors.Timeout))
+  in
+  Cluster.settle c;
+  check_err "deadline returns the last error" Errors.Timeout (get ());
+  Alcotest.(check int) "deadline stopped the loop" 2 !calls
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same faults, same bytes" `Quick
+            test_same_seed_same_faults;
+          Alcotest.test_case "fault seed matters" `Quick test_fault_seed_matters;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "faults injected, counted, traced" `Quick
+            test_faults_injected_and_traced;
+        ] );
+      ( "gateway",
+        [
+          Alcotest.test_case "duplicated opens are idempotent" `Quick
+            test_gateway_duplicate_open_idempotent;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "deterministic backoff" `Quick test_backoff_deterministic;
+          Alcotest.test_case "bounded attempts" `Quick test_retry_bounded_attempts;
+          Alcotest.test_case "permanent error aborts" `Quick test_retry_permanent_error_aborts;
+          Alcotest.test_case "deadline cuts backoff" `Quick test_retry_deadline_cuts_backoff;
+        ] );
+    ]

@@ -209,7 +209,7 @@ let test_hops_recorded () =
          let lcm = Commod.lcm commod in
          let rec loop () =
            (match Lcm_layer.recv lcm with
-            | Ok env when env.Lcm_layer.env_conv <> 0 ->
+            | Ok env when env.Lcm_layer.conv <> 0 ->
               ignore (Lcm_layer.reply lcm env (raw "ok" |> fun p -> p))
             | Ok _ | Error _ -> ());
            loop ()

@@ -119,6 +119,24 @@ let test_r1_conversion_selection () =
   let ds = Lint_layering.check (src "lib/core/ip_layer.ml" "let m = Convert.choose a b\n") in
   Alcotest.(check int) "Ip_layer may" 0 (List.length ds)
 
+let test_r1_retry_discipline () =
+  let text = "let backoff sched = Sched.sleep sched 50_000\n" in
+  let ds = Lint_layering.check (src "lib/core/lcm_layer.ml" text) in
+  Alcotest.(check (list string))
+    "ad-hoc sleep in lib/core flagged"
+    [
+      "lib/core/lcm_layer.ml:1: [layering] Lcm_layer calls Sched.sleep: lib/core recovers \
+       through Retry.run, not ad-hoc sleeps";
+    ]
+    (diag_strings ds);
+  Alcotest.(check int) "Retry itself may sleep" 0
+    (List.length (Lint_layering.check (src "lib/core/retry.ml" text)));
+  Alcotest.(check int) "applications may sleep" 0
+    (List.length (Lint_layering.check (src "lib/drts/time_service.ml" text)));
+  (* Unix.sleep is a determinism violation everywhere. *)
+  Alcotest.(check int) "Unix.sleep everywhere" 1
+    (List.length (Lint_determinism.check (src "lib/util/x.ml" "let () = Unix.sleep 1\n")))
+
 (* --- R2: determinism --- *)
 
 let test_r2_forbidden_calls () =
@@ -264,6 +282,7 @@ let () =
           Alcotest.test_case "upward reference" `Quick test_r1_upward_reference;
           Alcotest.test_case "backend naming" `Quick test_r1_backend_naming;
           Alcotest.test_case "conversion selection" `Quick test_r1_conversion_selection;
+          Alcotest.test_case "retry discipline" `Quick test_r1_retry_discipline;
         ] );
       ( "r2-determinism",
         [

@@ -15,7 +15,7 @@ let counter_spec tag =
         let n = ref 0 in
         let rec loop () =
           (match Lcm_layer.recv lcm with
-           | Ok env when env.Lcm_layer.env_conv <> 0 ->
+           | Ok env when env.Lcm_layer.conv <> 0 ->
              incr n;
              ignore
                (Lcm_layer.reply lcm env (raw (Printf.sprintf "%s:%d" tag !n)))

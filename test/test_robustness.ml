@@ -168,7 +168,7 @@ let test_reply_to_dead_conversation () =
          let commod = bind_exn node ~name:"tortoise" in
          let rec loop () =
            (match Ali_layer.receive commod with
-            | Ok env when env.Ali_layer.expects_reply ->
+            | Ok env when Ali_layer.expects_reply env ->
               Ntcs_sim.Sched.sleep (Node.sched node) 2_000_000;
               ignore (Ali_layer.reply commod env (raw "too-late"))
             | Ok _ | Error _ -> ());

@@ -19,7 +19,7 @@ let service_spec name generation =
         let tag = Printf.sprintf "%s.g%d" name generation in
         let rec loop () =
           (match Ali_layer.receive commod with
-           | Ok env when env.Ali_layer.expects_reply ->
+           | Ok env when Ali_layer.expects_reply env ->
              ignore (Ali_layer.reply commod env (raw tag))
            | Ok _ | Error _ -> ());
           loop ()
