@@ -909,3 +909,55 @@ let s1_sim_throughput () =
         (if wall > 0. then Printf.sprintf "%.0f" (float_of_int calls /. wall) else "n/a") ];
     ];
   Printf.printf "\n  (experiments are CPU-cheap: protocol time is virtual)\n"
+
+(* ------------------------------------------------------------------ *)
+(* OBS: observability-plane snapshot (DESIGN.md §10)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs a fixed-seed reference workload and snapshots the obs registry to
+   BENCH_obs.json via the deterministic exporter: equal seeds produce
+   byte-identical files, so the artifact doubles as a regression oracle for
+   the whole measurement pipeline. *)
+let obs_snapshot () =
+  Bench_util.header "OBS: observability-plane snapshot"
+    "engineering telemetry for the reproduction itself (no paper counterpart)";
+  let c = lan_cluster ~seed:42 () in
+  Cluster.settle c;
+  spawn_echo c ~machine:"sun1" ~name:"svc";
+  Cluster.settle c;
+  ignore
+    (Cluster.spawn c ~machine:"sun2" ~name:"meter" (fun node ->
+         match Commod.bind node ~name:"meter" with
+         | Error _ -> ()
+         | Ok commod -> (
+           match Ali_layer.locate commod "svc" with
+           | Error _ -> ()
+           | Ok addr ->
+             for _ = 1 to 20 do
+               ignore (Ali_layer.send_sync commod ~dst:addr (raw "measured"));
+               Ntcs_sim.Sched.sleep (Node.sched node) 200_000
+             done)));
+  Cluster.settle ~dt:30_000_000 c;
+  let r = Cluster.metrics c in
+  let rows =
+    List.map
+      (fun (name, h) ->
+        [
+          name;
+          string_of_int (Ntcs_obs.Histo.count h);
+          string_of_int (Ntcs_obs.Histo.p50 h);
+          string_of_int (Ntcs_obs.Histo.p95 h);
+          string_of_int (Ntcs_obs.Histo.p99 h);
+          string_of_int (Ntcs_obs.Histo.max_value h);
+        ])
+      (Ntcs_obs.Registry.histos_alist r)
+  in
+  Bench_util.table ~columns:[ "histogram"; "count"; "p50"; "p95"; "p99"; "max" ] rows;
+  let path = "BENCH_obs.json" in
+  let oc = open_out path in
+  output_string oc (Ntcs_obs.Export.stats_json r);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "\n  wrote %s (%d circuits, %d span events; seed-stable bytes)\n" path
+    (Ntcs_obs.Registry.circuits_allocated r)
+    (Ntcs_obs.Registry.span_count r)

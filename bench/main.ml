@@ -19,6 +19,8 @@ let experiments =
     ("a1", "A1: always-packed ablation", Experiments.a1_always_packed);
     ("a2", "A2: naming-cache ablation", Experiments.a2_no_cache);
     ("s1", "S1: substrate throughput", Experiments.s1_sim_throughput);
+    ("obs", "OBS: observability-plane snapshot (writes BENCH_obs.json)",
+     Experiments.obs_snapshot);
   ]
 
 let () =

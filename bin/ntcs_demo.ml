@@ -117,8 +117,27 @@ let scenario ~trace ~filter ~seed ~faults =
              (fun (a, n) -> Printf.sprintf "%s x%d" a n)
              s.Lcm_layer.st_reestablished)));
   if trace then begin
+    let tr = Ntcs_sim.World.trace (Cluster.world cluster) in
+    (* Category listing first — per-layer totals via [matching_prefix], then
+       each interned category with its own count — so a reader can pick a
+       --filter before wading into the full dump. *)
+    print_endline "\n-- trace categories --";
+    let cats = Ntcs_sim.Trace.categories tr in
+    let layers =
+      List.sort_uniq compare (List.map (fun (c, _) -> Ntcs_obs.Manifest.track_of c) cats)
+    in
+    List.iter
+      (fun layer ->
+        let total = List.length (Ntcs_sim.Trace.matching_prefix tr ~prefix:layer) in
+        let members =
+          List.filter (fun (c, _) -> Ntcs_obs.Manifest.track_of c = layer) cats
+        in
+        Printf.printf "%-8s %5d  %s\n" layer total
+          (String.concat " "
+             (List.map (fun (c, n) -> Printf.sprintf "%s=%d" c n) members)))
+      layers;
     print_endline "\n-- full protocol trace --";
-    Ntcs_sim.Trace.dump Format.std_formatter (Ntcs_sim.World.trace (Cluster.world cluster))
+    Ntcs_sim.Trace.dump Format.std_formatter tr
   end;
   0
 

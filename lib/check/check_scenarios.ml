@@ -72,7 +72,12 @@ let trace_violations ?recursion_limit c =
       (fun (e : Ntcs_sim.Trace.entry) -> Printf.sprintf "process crashed: %s" e.detail)
       (Ntcs_sim.Trace.matching (Ntcs_sim.World.trace (Cluster.world c)) ~cat:"sim.proc_crash")
   in
-  r3 @ lifecycle @ crashes
+  let spans =
+    List.map
+      (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
+      (Check_spans.check (Ntcs_obs.Registry.spans (Cluster.metrics c)))
+  in
+  r3 @ lifecycle @ crashes @ spans
 
 (* §6.1 first send, across a gateway: NS on the LAN, service on the ring.
    Every schedule must deliver the echo and keep every circuit lifecycle
@@ -201,7 +206,8 @@ let trace_violations_crashes_expected c =
   let entries = Ntcs_sim.Trace.entries (Ntcs_sim.World.trace (Cluster.world c)) in
   List.map
     (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
-    (Lint_trace.check_all entries @ Check_lifecycle.check entries)
+    (Lint_trace.check_all entries @ Check_lifecycle.check entries
+    @ Check_spans.check (Ntcs_obs.Registry.spans (Cluster.metrics c)))
 
 let lan3 ?tweak () =
   Cluster.build ?tweak

@@ -23,6 +23,7 @@ type envelope = Std_if.envelope = {
   data : Bytes.t;
   conv : int;
   seq : int;
+  span : Ntcs_obs.Span.ctx;
 }
 
 let expects_reply (env : envelope) = env.conv <> 0

@@ -17,6 +17,8 @@ type envelope = Std_if.envelope = {
   data : Bytes.t;
   conv : int;  (** nonzero: the sender awaits a reply *)
   seq : int;  (** sender's LCM sequence number *)
+  span : Ntcs_obs.Span.ctx;
+      (** causal identity of the logical send that produced this message *)
 }
 (** Re-export of the one shared envelope record — see {!Std_if.envelope}.
     What {!receive} returns is exactly what {!reply} consumes. *)

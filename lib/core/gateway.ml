@@ -196,10 +196,15 @@ let handle_frame t (net : Net.id) (_commod : Commod.t) circuit (h : Proto.header
        never talk to each other — is checkable from event logs (lint R3)
        instead of assumed. *)
     trace t ~cat:"gw.forward"
-      (Printf.sprintf "net%d label %d -> net%d label %d kind=%s dst=%s" net h.Proto.ivc
-         out.lg_net out.lg_label
+      (Printf.sprintf "net%d label %d -> net%d label %d kind=%s dst=%s span=%s" net
+         h.Proto.ivc out.lg_net out.lg_label
          (Proto.kind_to_string h.Proto.kind)
-         (Addr.to_string h.Proto.dst));
+         (Addr.to_string h.Proto.dst)
+         (Ntcs_obs.Span.to_string h.Proto.span));
+    if not (Ntcs_obs.Span.is_none h.Proto.span) then
+      World.span (Node.world t.node) ~ctx:h.Proto.span ~phase:Ntcs_obs.Span.I
+        ~name:"gw.forward" ~actor:t.gw_name
+        (Printf.sprintf "net%d->net%d" net out.lg_net);
     (match Nd_layer.send_frame out.lg_circuit fwd payload with
      | Ok () -> ()
      | Error _ ->

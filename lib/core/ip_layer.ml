@@ -247,12 +247,21 @@ let open_ivc t ~dst =
       attempt Errors.Unreachable targets)
 
 let get_or_open t ~dst =
-  match find_ivc t dst with Some ivc -> Ok ivc | None -> open_ivc t ~dst
+  match find_ivc t dst with
+  | Some ivc -> Ok ivc
+  | None ->
+    (* Establishment cost is the IP layer's dominant latency: histogram it
+       (sim-time µs) so ntcs_stat can split open cost from transfer cost. *)
+    let t0 = Node.now t.node in
+    let r = open_ivc t ~dst in
+    Ntcs_obs.Registry.observe (metrics t) "ip.open_us" (Node.now t.node - t0);
+    r
 
 (* Send application-level traffic on an IVC. This is where the §5 decision
    is made: identical representation -> image mode (byte copy), otherwise
    packed mode (application conversion). *)
-let send t ivc ~kind ?(seq = 0) ?(conv = 0) ?(app_tag = 0) (payload : Convert.payload) =
+let send t ivc ~kind ?(seq = 0) ?(conv = 0) ?(app_tag = 0) ?(span = Ntcs_obs.Span.none)
+    (payload : Convert.payload) =
   if not (ivc.i_open && ivc.circuit.Nd_layer.c_open) then Error Errors.Circuit_failed
   else begin
     let my_order = Node.my_order t.node in
@@ -299,7 +308,7 @@ let send t ivc ~kind ?(seq = 0) ?(conv = 0) ?(app_tag = 0) (payload : Convert.pa
     in
     let header =
       Proto.make_header ~kind ~src:(Nd_layer.my_addr t.nd) ~dst ~mode
-        ~src_order:my_order ~seq ~conv ~app_tag ~ivc:ivc.label
+        ~src_order:my_order ~seq ~conv ~app_tag ~ivc:ivc.label ~span
         ~payload_len:(Bytes.length data) ()
     in
     Nd_layer.send_frame ivc.circuit header data

@@ -74,6 +74,8 @@ val open_ivc : t -> dst:Addr.t -> (ivc, Errors.t) result
     Blocking. *)
 
 val get_or_open : t -> dst:Addr.t -> (ivc, Errors.t) result
+(** Like {!open_ivc} but reusing a live IVC; a cold open is timed into the
+    ["ip.open_us"] histogram. *)
 
 val send :
   t ->
@@ -82,10 +84,12 @@ val send :
   ?seq:int ->
   ?conv:int ->
   ?app_tag:int ->
+  ?span:Ntcs_obs.Span.ctx ->
   Convert.payload ->
   (unit, Errors.t) result
 (** Choose the conversion mode from the machine representations (§5), force
-    the payload once, frame and transmit. *)
+    the payload once, frame and transmit. [span] (default [Span.none]) is
+    the causal identity stamped into the header. *)
 
 val close_ivc : t -> ivc -> reason:string -> unit
 (** Close; a chained circuit sends IVC_CLOSE down the chain (§4.3). *)

@@ -35,6 +35,7 @@ type envelope = Std_if.envelope = {
   data : Bytes.t;
   conv : int; (* nonzero: the sender is blocked in send_sync awaiting a reply *)
   seq : int; (* sender's LCM sequence number *)
+  span : Ntcs_obs.Span.ctx; (* causal identity of the send that produced it *)
 }
 
 type t = {
@@ -46,6 +47,7 @@ type t = {
   app_inbox : envelope Sched.Mailbox.mb;
   stash : envelope Queue.t; (* set aside by tag-filtered receives *)
   waiting : (int, reply_slot) Hashtbl.t; (* conversation id -> waiter *)
+  circuits : (Addr.t, circ) Hashtbl.t; (* logical-circuit span per destination *)
   forwarding : (Addr.t, Addr.t) Hashtbl.t; (* old UAdd -> replacement UAdd *)
   reestablish : (Addr.t, int) Hashtbl.t; (* per-destination circuit reestablishments *)
   last_seq : (Addr.t, int) Hashtbl.t; (* per-source high-water mark (§3.5 audit) *)
@@ -72,8 +74,79 @@ and counters = {
 
 and reply_slot = { rs_dst : Addr.t; rs_ivar : (envelope, Errors.t) result Sched.Ivar.ivar }
 
+(* One logical circuit for span purposes: this ComMod speaking to one
+   destination UAdd, from first use until peer-down/shutdown. Relocation
+   keeps the circuit (the logical connection survives, §3.5); a later
+   reconnection after a close gets a fresh world-unique id. *)
+and circ = { circ_id : int; mutable circ_seq : int }
+
 let metrics t = Node.metrics t.node
 let trace t ~cat detail = Node.record t.node ~cat ~actor:t.nd.Nd_layer.owner detail
+
+(* --- the causal-span plane ---
+
+   Spans are allocated here, at the entry to the Nucleus (the ALI delegates
+   straight down): a world-unique circuit id per destination plus a
+   per-message sequence id, combined into the [Span.ctx] that rides the
+   protocol header through IP, ND, every gateway splice and every
+   fault-plane retry. Ids come from the world's registry, whose allocation
+   order is fixed by the deterministic scheduler. *)
+
+let span_event t ~ctx ~phase ~name detail =
+  World.span (Node.world t.node) ~ctx ~phase ~name ~actor:t.nd.Nd_layer.owner detail
+
+let circuit_of t ~dst =
+  match Hashtbl.find_opt t.circuits dst with
+  | Some c -> c
+  | None ->
+    let id = Ntcs_obs.Registry.fresh_circuit (metrics t) in
+    let c = { circ_id = id; circ_seq = 0 } in
+    Hashtbl.replace t.circuits dst c;
+    span_event t
+      ~ctx:(Ntcs_obs.Span.make ~circuit:id ~seq:0)
+      ~phase:Ntcs_obs.Span.B ~name:"lcm.circuit"
+      (Printf.sprintf "dst=%s" (Addr.to_string dst));
+    c
+
+let next_ctx t ~dst =
+  let c = circuit_of t ~dst in
+  c.circ_seq <- c.circ_seq + 1;
+  Ntcs_obs.Span.make ~circuit:c.circ_id ~seq:c.circ_seq
+
+let close_circuit t ~reason dst =
+  match Hashtbl.find_opt t.circuits dst with
+  | Some c ->
+    Hashtbl.remove t.circuits dst;
+    span_event t
+      ~ctx:(Ntcs_obs.Span.make ~circuit:c.circ_id ~seq:0)
+      ~phase:Ntcs_obs.Span.E ~name:"lcm.circuit" reason
+  | None -> ()
+
+let close_all_circuits t ~reason =
+  List.iter (fun (dst, _) -> close_circuit t ~reason dst)
+    (Ntcs_util.sorted_bindings t.circuits)
+
+(* Bracket one ALI-boundary primitive in a message span: B before the work,
+   E (with the outcome) after, and the elapsed sim time into the layer's
+   latency histogram ("lcm.send_us", "lcm.send_sync_us", ...). *)
+let spanned t ~dst ~name f =
+  let ctx = next_ctx t ~dst in
+  let t0 = Node.now t.node in
+  span_event t ~ctx ~phase:Ntcs_obs.Span.B ~name
+    (Printf.sprintf "dst=%s" (Addr.to_string dst));
+  let r =
+    (* An exception here is the owner dying mid-operation (e.g. the §6.3
+       divergence's simulated stack overflow): mark the span crashed so the
+       B/E pairing survives, then let the crash propagate. *)
+    try f ctx
+    with exn ->
+      span_event t ~ctx ~phase:Ntcs_obs.Span.E ~name "crashed";
+      raise exn
+  in
+  Ntcs_obs.Registry.observe (metrics t) (name ^ "_us") (Node.now t.node - t0);
+  span_event t ~ctx ~phase:Ntcs_obs.Span.E ~name
+    (match r with Ok _ -> "ok" | Error e -> "err=" ^ Errors.to_string e);
+  r
 
 let set_fault_oracle t f = t.fault_oracle <- Some f
 let set_ns_addr t a = t.ns_addr <- Some a
@@ -205,12 +278,13 @@ let note_reestablish t dst =
    the address-fault handler first — forwarding table, §6.3 guard, fault
    oracle — and reopens the circuit to whatever address it yields, with
    exponential seeded backoff between attempts. *)
-let send_frame ?deadline_us t ~dst ~kind ~conv ~app_tag payload =
+let send_frame ?deadline_us ?(span = Ntcs_obs.Span.none) t ~dst ~kind ~conv ~app_tag payload =
   let recoverable = recoverable_kind kind in
   let policy =
     if recoverable then t.node.Node.config.Node.send_retry else Retry.no_retry
   in
   let cur = ref (if recoverable then follow_forwarding t dst 4 else dst) in
+  let retries = ref 0 in
   let attempt_once ~attempt =
     let target =
       if attempt = 1 then Ok !cur
@@ -228,39 +302,51 @@ let send_frame ?deadline_us t ~dst ~kind ~conv ~app_tag payload =
     | Ok dst -> (
       match Ip_layer.get_or_open t.ip ~dst with
       | Error _ as e -> e
-      | Ok ivc -> Ip_layer.send t.ip ivc ~kind ~seq:(fresh_seq t) ~conv ~app_tag payload)
+      | Ok ivc -> Ip_layer.send t.ip ivc ~kind ~seq:(fresh_seq t) ~conv ~app_tag ~span payload)
   in
-  Retry.run (Node.sched t.node) ~rng:t.rng ?deadline_us policy ~retryable:Errors.retryable
-    ~on_retry:(fun ~attempt ~delay_us e ->
-      t.counters.c_retries <- t.counters.c_retries + 1;
-      t.counters.c_backoff_us <- t.counters.c_backoff_us + delay_us;
-      Ntcs_util.Metrics.incr (metrics t) "lcm.retries";
-      trace t ~cat:"lcm.retry"
-        (Printf.sprintf "%s attempt=%d backoff=%dus err=%s" (Addr.to_string !cur) attempt
-           delay_us (Errors.to_string e)))
-    attempt_once
+  let r =
+    Retry.run (Node.sched t.node) ~rng:t.rng ?deadline_us policy ~retryable:Errors.retryable
+      ~on_retry:(fun ~attempt ~delay_us e ->
+        incr retries;
+        t.counters.c_retries <- t.counters.c_retries + 1;
+        t.counters.c_backoff_us <- t.counters.c_backoff_us + delay_us;
+        Ntcs_util.Metrics.incr (metrics t) "lcm.retries";
+        Ntcs_obs.Registry.observe (metrics t) "lcm.retry_backoff_us" delay_us;
+        trace t ~cat:"lcm.retry"
+          (Printf.sprintf "%s attempt=%d backoff=%dus err=%s" (Addr.to_string !cur) attempt
+             delay_us (Errors.to_string e)))
+      attempt_once
+  in
+  Ntcs_obs.Registry.observe (metrics t) "lcm.retries_per_send" !retries;
+  r
 
 let send t ~dst ?(app_tag = 0) ?timeout_us payload =
   tracked t (fun () ->
-      monitor_event t "send" (Addr.to_string dst);
-      let deadline_us = deadline_of t timeout_us in
-      let r = send_frame ~deadline_us t ~dst ~kind:Proto.Data ~conv:0 ~app_tag payload in
-      (match r with
-       | Ok () ->
-         t.counters.c_sent <- t.counters.c_sent + 1;
-         Ntcs_util.Metrics.incr (metrics t) "lcm.sends"
-       | Error _ -> Ntcs_util.Metrics.incr (metrics t) "lcm.send_errors");
-      r)
+      spanned t ~dst ~name:"lcm.send" (fun span ->
+          monitor_event t "send" (Addr.to_string dst);
+          let deadline_us = deadline_of t timeout_us in
+          let r =
+            send_frame ~deadline_us ~span t ~dst ~kind:Proto.Data ~conv:0 ~app_tag payload
+          in
+          (match r with
+           | Ok () ->
+             t.counters.c_sent <- t.counters.c_sent + 1;
+             Ntcs_util.Metrics.incr (metrics t) "lcm.sends"
+           | Error _ -> Ntcs_util.Metrics.incr (metrics t) "lcm.send_errors");
+          r))
 
 (* Connectionless protocol: single attempt, no relocation, no recovery. *)
 let send_dgram t ~dst ?(app_tag = 0) ?timeout_us payload =
   tracked t (fun () ->
-      let deadline_us = deadline_of t timeout_us in
-      let r = send_frame ~deadline_us t ~dst ~kind:Proto.Dgram ~conv:0 ~app_tag payload in
-      (match r with
-       | Ok () -> Ntcs_util.Metrics.incr (metrics t) "lcm.dgrams"
-       | Error _ -> Ntcs_util.Metrics.incr (metrics t) "lcm.dgram_errors");
-      r)
+      spanned t ~dst ~name:"lcm.send_dgram" (fun span ->
+          let deadline_us = deadline_of t timeout_us in
+          let r =
+            send_frame ~deadline_us ~span t ~dst ~kind:Proto.Dgram ~conv:0 ~app_tag payload
+          in
+          (match r with
+           | Ok () -> Ntcs_util.Metrics.incr (metrics t) "lcm.dgrams"
+           | Error _ -> Ntcs_util.Metrics.incr (metrics t) "lcm.dgram_errors");
+          r))
 
 let await_reply t ~dst ~conv ~timeout_us =
   let ivar = Sched.Ivar.create (Node.sched t.node) in
@@ -276,44 +362,50 @@ let await_reply t ~dst ~conv ~timeout_us =
 (* Synchronous send/receive/reply conversation (§1.3). *)
 let send_sync t ~dst ?(app_tag = 0) ?timeout_us payload =
   tracked t (fun () ->
-      monitor_event t "send-sync" (Addr.to_string dst);
-      (* One deadline for the whole conversation: send retries, their
-         backoff, and the reply wait all draw on the same budget. *)
-      let deadline_us = deadline_of t timeout_us in
-      let conv = fresh_conv t in
-      match send_frame ~deadline_us t ~dst ~kind:Proto.Data ~conv ~app_tag payload with
-      | Error _ as e -> e
-      | Ok () ->
-        t.counters.c_sent <- t.counters.c_sent + 1;
-        t.counters.c_sync_calls <- t.counters.c_sync_calls + 1;
-        Ntcs_util.Metrics.incr (metrics t) "lcm.sync_sends";
-        await_reply t ~dst ~conv ~timeout_us:(max 0 (deadline_us - Node.now t.node)))
+      spanned t ~dst ~name:"lcm.send_sync" (fun span ->
+          monitor_event t "send-sync" (Addr.to_string dst);
+          (* One deadline for the whole conversation: send retries, their
+             backoff, and the reply wait all draw on the same budget. The
+             whole conversation shares one span ctx — the reply comes back
+             carrying it, so the round trip is one slice in the export. *)
+          let deadline_us = deadline_of t timeout_us in
+          let conv = fresh_conv t in
+          match
+            send_frame ~deadline_us ~span t ~dst ~kind:Proto.Data ~conv ~app_tag payload
+          with
+          | Error _ as e -> e
+          | Ok () ->
+            t.counters.c_sent <- t.counters.c_sent + 1;
+            t.counters.c_sync_calls <- t.counters.c_sync_calls + 1;
+            Ntcs_util.Metrics.incr (metrics t) "lcm.sync_sends";
+            await_reply t ~dst ~conv ~timeout_us:(max 0 (deadline_us - Node.now t.node))))
 
 let reply t (env : envelope) ?(app_tag = 0) ?timeout_us payload =
   tracked t (fun () ->
       if env.conv = 0 then Error (Errors.Internal "reply to a message that expects none")
-      else begin
-        monitor_event t "reply" (Addr.to_string env.src);
-        let deadline_us = deadline_of t timeout_us in
-        send_frame ~deadline_us t ~dst:env.src ~kind:Proto.Reply ~conv:env.conv ~app_tag
-          payload
-      end)
+      else
+        spanned t ~dst:env.src ~name:"lcm.reply" (fun span ->
+            monitor_event t "reply" (Addr.to_string env.src);
+            let deadline_us = deadline_of t timeout_us in
+            send_frame ~deadline_us ~span t ~dst:env.src ~kind:Proto.Reply ~conv:env.conv
+              ~app_tag payload))
 
 (* Liveness probe: PING / PONG with a conversation id. Used by the naming
    service to decide whether an old UAdd is "really inactive" (§3.5). *)
 let ping t ~dst ~timeout_us =
   tracked t (fun () ->
-      let conv = fresh_conv t in
-      match
-        send_frame ~deadline_us:(Node.now t.node + timeout_us) t ~dst ~kind:Proto.Ping
-          ~conv ~app_tag:0
-          (Convert.payload_raw Bytes.empty)
-      with
-      | Error _ as e -> e
-      | Ok () -> (
-        match await_reply t ~dst ~conv ~timeout_us with
-        | Ok _ -> Ok ()
-        | Error _ as e -> e))
+      spanned t ~dst ~name:"lcm.ping" (fun span ->
+          let conv = fresh_conv t in
+          match
+            send_frame ~deadline_us:(Node.now t.node + timeout_us) ~span t ~dst
+              ~kind:Proto.Ping ~conv ~app_tag:0
+              (Convert.payload_raw Bytes.empty)
+          with
+          | Error _ as e -> e
+          | Ok () -> (
+            match await_reply t ~dst ~conv ~timeout_us with
+            | Ok _ -> Ok ()
+            | Error _ as e -> e)))
 
 (* Take the first stashed envelope accepted by [want], if any. *)
 let take_stashed t want =
@@ -378,6 +470,7 @@ let envelope_of t (d : Ip_layer.delivery) kind =
     data = d.Ip_layer.del_payload;
     conv = d.Ip_layer.del_hdr.Proto.conv;
     seq = d.Ip_layer.del_hdr.Proto.seq;
+    span = d.Ip_layer.del_hdr.Proto.span;
   }
 
 (* Audit per-source sequencing: in a static environment the LCM must never
@@ -398,10 +491,27 @@ let handle_delivery t (d : Ip_layer.delivery) =
    | Proto.Data | Proto.Dgram | Proto.Reply -> note_seq t d.Ip_layer.del_src h.Proto.seq
    | Proto.Ping | Proto.Pong | Proto.Hello | Proto.Hello_ack | Proto.Ivc_open
    | Proto.Ivc_accept | Proto.Ivc_reject | Proto.Ivc_close -> ());
+  (* The frame's span ctx crossed the whole stack to get here: mark the
+     hand-off to the application and sample the inbox depth it joins. *)
+  let deliver_span () =
+    if not (Ntcs_obs.Span.is_none h.Proto.span) then
+      span_event t ~ctx:h.Proto.span ~phase:Ntcs_obs.Span.I ~name:"lcm.deliver"
+        (Printf.sprintf "kind=%s" (Proto.kind_to_string h.Proto.kind))
+  in
+  let to_inbox env =
+    Sched.Mailbox.send t.app_inbox env;
+    Ntcs_obs.Registry.observe (metrics t) "lcm.inbox_depth"
+      (Sched.Mailbox.length t.app_inbox)
+  in
   match h.Proto.kind with
-  | Proto.Data -> Sched.Mailbox.send t.app_inbox (envelope_of t d `Data)
-  | Proto.Dgram -> Sched.Mailbox.send t.app_inbox (envelope_of t d `Dgram)
+  | Proto.Data ->
+    deliver_span ();
+    to_inbox (envelope_of t d `Data)
+  | Proto.Dgram ->
+    deliver_span ();
+    to_inbox (envelope_of t d `Dgram)
   | Proto.Reply -> (
+    deliver_span ();
     match Hashtbl.find_opt t.waiting h.Proto.conv with
     | Some slot -> ignore (Sched.Ivar.try_fill slot.rs_ivar (Ok (envelope_of t d `Data)))
     | None -> Ntcs_util.Metrics.incr (metrics t) "lcm.orphan_replies")
@@ -409,8 +519,10 @@ let handle_delivery t (d : Ip_layer.delivery) =
     (* Answer from the dispatcher itself: liveness must not depend on the
        application draining its inbox. *)
     let pong =
+      (* The pong echoes the ping's span ctx, so the probe's round trip is
+         attributable to the prober's circuit. *)
       Proto.make_header ~kind:Proto.Pong ~src:(Nd_layer.my_addr t.nd) ~dst:d.Ip_layer.del_src
-        ~conv:h.Proto.conv ~payload_len:0 ()
+        ~conv:h.Proto.conv ~span:h.Proto.span ~payload_len:0 ()
     in
     (match Ip_layer.find_ivc t.ip d.Ip_layer.del_src with
      | Some ivc -> ignore (Nd_layer.send_frame ivc.Ip_layer.circuit { pong with Proto.ivc = ivc.Ip_layer.label } Bytes.empty)
@@ -427,6 +539,9 @@ let handle_delivery t (d : Ip_layer.delivery) =
 let peers_down t peers =
   List.iter
     (fun peer ->
+      (* The connectivity epoch to this peer is over: close its circuit
+         span. A later send reconnects under a fresh circuit id. *)
+      close_circuit t ~reason:"peer-down" peer;
       (* Fail conversations that were waiting on this peer: their reply may
          never come. The caller's fault path takes it from there. Waiters
          wake in conversation-id order, never in table order. *)
@@ -462,6 +577,7 @@ let create node nd ip =
       app_inbox = Sched.Mailbox.create (Node.sched node);
       stash = Queue.create ();
       waiting = Hashtbl.create 16;
+      circuits = Hashtbl.create 8;
       forwarding = Hashtbl.create 8;
       reestablish = Hashtbl.create 8;
       last_seq = Hashtbl.create 16;
@@ -490,6 +606,17 @@ let create node nd ip =
       ~name:(Printf.sprintf "%s/lcm-dispatch" nd.Nd_layer.owner) (fun () -> dispatcher_loop t)
   in
   t.dispatcher <- Some pid;
+  (* However this ComMod dies, its open circuit spans get their E event:
+     "shutdown" on a clean stop, "crashed" when the machine went down under
+     us (the fault plane killing the dispatcher while we were running) or
+     the dispatcher itself raised. The span invariant — every opened circuit
+     closed or marked crashed — rests on this hook. *)
+  Sched.on_exit (Node.sched node) pid (fun status ->
+      match status with
+      | Sched.Crashed _ -> close_all_circuits t ~reason:"crashed"
+      | Sched.Was_killed ->
+        close_all_circuits t ~reason:(if t.running then "crashed" else "shutdown")
+      | Sched.Exited -> close_all_circuits t ~reason:"shutdown");
   t
 
 let shutdown t =
@@ -497,6 +624,7 @@ let shutdown t =
   (match t.dispatcher with
    | Some pid -> Sched.kill (Node.sched t.node) pid
    | None -> ());
+  close_all_circuits t ~reason:"shutdown";
   Nd_layer.shutdown t.nd
 
 (* Run [f] with monitor reporting suppressed: how the DRTS services send

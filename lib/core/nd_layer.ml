@@ -124,6 +124,14 @@ let send_frame (c : circuit) (h : Proto.header) payload =
   else begin
     let frame = Proto.encode_frame h payload in
     Ntcs_util.Metrics.incr (metrics c.nd) "nd.frames_sent";
+    Ntcs_obs.Registry.observe (metrics c.nd) "nd.tx_bytes" (Bytes.length frame);
+    (* A span-carrying frame leaving this machine is one hop of its logical
+       send: an instant event, attributable via the header's ctx. *)
+    if not (Ntcs_obs.Span.is_none h.Proto.span) then
+      World.span (Node.world c.nd.node) ~ctx:h.Proto.span ~phase:Ntcs_obs.Span.I
+        ~name:"nd.tx" ~actor:c.nd.owner
+        (Printf.sprintf "kind=%s dst=%s" (Proto.kind_to_string h.Proto.kind)
+           (Addr.to_string h.Proto.dst));
     match c.lvc.Std_if.send_msg frame with
     | Ok () -> Ok ()
     | Error e ->
@@ -183,6 +191,12 @@ let handle_incoming (c : circuit) raw =
     trace t ~cat:"nd.bad_frame" m
   | h, payload ->
     Ntcs_util.Metrics.incr (metrics t) "nd.frames_recv";
+    Ntcs_obs.Registry.observe (metrics t) "nd.rx_bytes" (Bytes.length raw);
+    if not (Ntcs_obs.Span.is_none h.Proto.span) then
+      World.span (Node.world t.node) ~ctx:h.Proto.span ~phase:Ntcs_obs.Span.I ~name:"nd.rx"
+        ~actor:t.owner
+        (Printf.sprintf "kind=%s src=%s" (Proto.kind_to_string h.Proto.kind)
+           (Addr.to_string h.Proto.src));
     (* Only non-chained frames identify the circuit peer: a chained frame's
        source is the remote origin, not the gateway this circuit goes to —
        re-keying on it would steal the gateway's table entry. *)

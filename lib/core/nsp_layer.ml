@@ -65,6 +65,7 @@ let error_of_string = function
    transport failures. *)
 let request t (req : Ns_proto.request) =
   let payload = Convert.payload_raw (Ns_proto.pack_request req) in
+  let started = Node.now t.node in
   let one_pass ~attempt =
     if attempt > 1 then Ntcs_util.Metrics.incr (metrics t) "nsp.retry_cycles";
     let order =
@@ -95,8 +96,12 @@ let request t (req : Ns_proto.request) =
     in
     failover order
   in
-  Retry.run (Node.sched t.node) ~rng:t.rng t.node.Node.config.Node.ns_retry
-    ~retryable:Errors.retryable one_pass
+  let result =
+    Retry.run (Node.sched t.node) ~rng:t.rng t.node.Node.config.Node.ns_retry
+      ~retryable:Errors.retryable one_pass
+  in
+  Ntcs_obs.Registry.observe (metrics t) "nsp.request_us" (Node.now t.node - started);
+  result
 
 let protocol_error = Errors.Bad_message "unexpected name-server response"
 

@@ -11,7 +11,7 @@ exception Bad_header of string
 
 let magic = 0x4E54 (* "NT" *)
 let version = 1
-let header_words = 11
+let header_words = 13
 let header_bytes = 4 * header_words
 
 type kind =
@@ -87,18 +87,23 @@ type header = {
   app_tag : int; (* application message type *)
   ivc : int; (* internet virtual circuit id *)
   payload_len : int;
+  span : Ntcs_obs.Span.ctx;
+      (* causal identity of the logical send that produced this frame;
+         Span.none (circuit 0) on control traffic predating any circuit *)
 }
 
 let make_header ~kind ~src ~dst ?(mode = Convert.Packed) ?(src_order = Endian.Be) ?(hops = 0)
-    ?(seq = 0) ?(conv = 0) ?(app_tag = 0) ?(ivc = 0) ~payload_len () =
-  { kind; src; dst; mode; src_order; hops; seq; conv; app_tag; ivc; payload_len }
+    ?(seq = 0) ?(conv = 0) ?(app_tag = 0) ?(ivc = 0) ?(span = Ntcs_obs.Span.none)
+    ~payload_len () =
+  { kind; src; dst; mode; src_order; hops; seq; conv; app_tag; ivc; payload_len; span }
 
 (* Header layout:
    w0: magic(16) | version(8) | kind(8)
    w1-w2: src address
    w3-w4: dst address
    w5: mode(4) | src_order(4) | hops(8) | flags(16, reserved)
-   w6: seq   w7: conv   w8: app_tag   w9: ivc   w10: payload_len *)
+   w6: seq   w7: conv   w8: app_tag   w9: ivc   w10: payload_len
+   w11: span circuit id   w12: span per-circuit sequence id *)
 let encode_header h =
   let src = Addr.to_words h.src and dst = Addr.to_words h.dst in
   let w0 = Shift.pack_bits [ (magic, 16); (version, 8); (kind_to_int h.kind, 8) ] in
@@ -109,7 +114,7 @@ let encode_header h =
   in
   Shift.encode_words
     [| w0; src.(0); src.(1); dst.(0); dst.(1); w5; h.seq; h.conv; h.app_tag; h.ivc;
-       h.payload_len |]
+       h.payload_len; h.span.Ntcs_obs.Span.sp_circuit; h.span.Ntcs_obs.Span.sp_seq |]
 
 let decode_header data =
   if Bytes.length data < header_bytes then raise (Bad_header "short header");
@@ -146,6 +151,7 @@ let decode_header data =
     app_tag = w.(8);
     ivc = w.(9);
     payload_len = w.(10);
+    span = Ntcs_obs.Span.make ~circuit:w.(11) ~seq:w.(12);
   }
 
 (* A full frame: shift-mode header followed by the (already converted)

@@ -51,6 +51,11 @@ type header = {
   app_tag : int;  (** application message type *)
   ivc : int;  (** internet-virtual-circuit leg label; 0 = direct *)
   payload_len : int;
+  span : Ntcs_obs.Span.ctx;
+      (** causal identity of the logical send that produced this frame;
+          [Span.none] on control traffic predating any circuit. Rides the
+          wire (words 11–12), so it survives gateway splices and fault-plane
+          retries unchanged. *)
 }
 
 val make_header :
@@ -64,6 +69,7 @@ val make_header :
   ?conv:int ->
   ?app_tag:int ->
   ?ivc:int ->
+  ?span:Ntcs_obs.Span.ctx ->
   payload_len:int ->
   unit ->
   header

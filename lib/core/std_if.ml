@@ -231,4 +231,5 @@ type envelope = {
   data : Bytes.t;
   conv : int; (* nonzero: the sender is blocked awaiting a reply *)
   seq : int; (* sender's LCM sequence number *)
+  span : Ntcs_obs.Span.ctx; (* causal identity of the send that produced it *)
 }

@@ -70,6 +70,8 @@ type envelope = {
   data : Bytes.t;
   conv : int;  (** nonzero: the sender is blocked awaiting a reply *)
   seq : int;  (** sender's LCM sequence number *)
+  span : Ntcs_obs.Span.ctx;
+      (** causal identity of the logical send that produced this message *)
 }
 (** The one message-envelope record shared by every layer above the STD-IF.
     The LCM constructs it, the ALI hands it to applications, and [reply]

@@ -22,7 +22,9 @@ let source_files paths = List.rev (List.fold_left (fun acc p -> walk p acc) [] p
 
 let check_source src =
   let _, malformed = Lint_lex.pragmas src in
-  Lint_diag.sort (malformed @ Lint_layering.check src @ Lint_determinism.check src)
+  Lint_diag.sort
+    (malformed @ Lint_layering.check src @ Lint_determinism.check src
+    @ Lint_categories.check src)
 
 let lint_file file = check_source (Lint_lex.load file)
 

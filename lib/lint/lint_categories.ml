@@ -1,0 +1,64 @@
+(* R4: trace-category discipline. Every literal category passed to a
+   [~cat:"..."] argument (Trace.record and its wrappers) must appear in the
+   registered manifest ([Ntcs_obs.Manifest]), which is what the exporters,
+   the demo's category listing and the ntcs_stat timeline reader key off.
+   A category invented at a call site would silently fall outside every
+   report; fail the build instead. Suppress with
+   `lint: allow category(<cat>) — reason`. *)
+
+let rule = "category"
+
+(* Find the literal at a [~cat:] quoted site. Offsets are shared between
+   [src_text] and [src_blank] (blanking is byte-preserving), so we locate
+   the pattern on the blanked text — comments and strings cannot fake a
+   site, because blanking erases the quotes inside comments and the pattern
+   itself inside strings — and read the literal's characters from the raw
+   text between the real quotes. *)
+let pattern = "~cat:\""
+
+let line_of_offset text off =
+  let n = ref 1 in
+  String.iteri (fun i c -> if i < off && c = '\n' then incr n) text;
+  !n
+
+let literal_sites (src : Lint_lex.source) =
+  let blank = src.Lint_lex.src_blank in
+  let raw = src.Lint_lex.src_text in
+  let plen = String.length pattern in
+  let n = String.length blank in
+  let sites = ref [] in
+  let i = ref 0 in
+  while !i + plen <= n do
+    if String.sub blank !i plen = pattern then begin
+      let start = !i + plen in
+      (* The literal's contents are blanked; the closing quote survives. *)
+      let close = ref start in
+      while !close < n && blank.[!close] <> '"' do
+        incr close
+      done;
+      if !close < n then
+        sites :=
+          (line_of_offset blank !i, String.sub raw start (!close - start)) :: !sites;
+      i := !close + 1
+    end
+    else incr i
+  done;
+  List.rev !sites
+
+let check (src : Lint_lex.source) =
+  let file = src.Lint_lex.src_file in
+  let pragmas, _ = Lint_lex.pragmas src in
+  List.filter_map
+    (fun (line, cat) ->
+      if Ntcs_obs.Manifest.known cat
+         || Lint_lex.pragma_allows pragmas ~rule ~arg:cat ~line
+      then None
+      else
+        Some
+          (Lint_diag.make ~file ~line ~rule
+             (Printf.sprintf
+                "%S is not in the registered category manifest (Ntcs_obs.Manifest) \
+                 — add it there with one line of documentation"
+                cat)))
+    (literal_sites src)
+  |> Lint_diag.sort

@@ -1,0 +1,55 @@
+(** Mergeable log-bucketed histograms for non-negative integer samples
+    (sim-time microseconds, frame bytes, retry counts, queue depths).
+
+    Fixed 256-bucket layout: exact buckets for 0..3, then 4 linear
+    sub-buckets per power-of-two octave, bounding quantile error to one
+    sub-bucket width (25% relative) while count/sum/min/max stay exact. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+
+val add : t -> int -> unit
+(** Record one sample; negative samples are clamped to 0. *)
+
+val merge : t -> t -> t
+(** Bucket-wise sum; associative and commutative, inputs untouched. *)
+
+val bucket_of : int -> int
+(** Index of the bucket a value lands in — exposed for the boundary tests. *)
+
+val lower_bound : int -> int
+(** Smallest value landing in bucket [idx]. *)
+
+val upper_bound : int -> int
+(** Largest value landing in bucket [idx] ([max_int] for the last bucket). *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] for [0 < p <= 100]: upper bound of the bucket holding
+    the rank-[ceil (p/100 * count)] sample, clamped to the observed max.
+    0 when empty. *)
+
+val p50 : t -> int
+val p95 : t -> int
+val p99 : t -> int
+
+type summary = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;
+  s_max : int;
+  s_p50 : int;
+  s_p95 : int;
+  s_p99 : int;
+}
+
+val summary : t -> summary
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+(* Per-world observability registry: the named counters and gauges that
+   [Ntcs_util.Metrics] has always exposed, plus histograms and the causal
+   span log, plus the seeded-deterministic circuit-id allocator. One
+   registry per simulated world, so parallel experiments never share state
+   and equal seeds replay identical allocations. *)
+
+type stat = [ `Counter of int | `Gauge of float ]
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histos : (string, Histo.t) Hashtbl.t;
+  mutable spans : Span.event list;  (** newest first *)
+  mutable span_count : int;
+  mutable next_circuit : int;
+}
+
+let create () =
+  { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; histos = Hashtbl.create 16;
+    spans = []; span_count = 0; next_circuit = 0 }
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histos;
+  t.spans <- [];
+  t.span_count <- 0;
+  t.next_circuit <- 0
+
+(* Cannot use Ntcs_util.sorted_bindings here — ntcs_util sits above us — so
+   the registry carries its own deterministic iteration helper. *)
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Counters and gauges *)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.counters name r;
+    r
+
+let incr ?(by = 1) t name =
+  let r = counter t name in
+  r := !r + by
+
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0.
+
+let counters_alist t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.counters)
+let gauges_alist t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.gauges)
+
+let stats_alist t : (string * stat) list =
+  List.map (fun (k, v) -> (k, `Counter v)) (counters_alist t)
+  @ List.map (fun (k, v) -> (k, `Gauge v)) (gauges_alist t)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Histograms *)
+
+let histo t name =
+  match Hashtbl.find_opt t.histos name with
+  | Some h -> h
+  | None ->
+    let h = Histo.create () in
+    Hashtbl.replace t.histos name h;
+    h
+
+let observe t name v = Histo.add (histo t name) v
+let find_histo t name = Hashtbl.find_opt t.histos name
+let histos_alist t = sorted_bindings t.histos
+
+(* Circuit ids and the span log *)
+
+let fresh_circuit t =
+  t.next_circuit <- t.next_circuit + 1;
+  t.next_circuit
+
+let circuits_allocated t = t.next_circuit
+
+let span t ev =
+  t.spans <- ev :: t.spans;
+  t.span_count <- t.span_count + 1
+
+let spans t = List.rev t.spans
+let span_count t = t.span_count
+
+(* Printing. [pp_stats] is the historical Metrics.pp surface (now with
+   gauges, per the long-standing bug); [pp] adds histogram summaries and the
+   span-log size for a full snapshot. Both orderings are sorted, so two
+   same-seed runs print byte-identical text. *)
+
+let pp_gauge_value ppf v = Fmt.pf ppf "%.3f" v
+
+let pp_stats ppf t =
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-40s %d@." k v) (counters_alist t);
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-40s %a@." k pp_gauge_value v) (gauges_alist t)
+
+let pp ppf t =
+  pp_stats ppf t;
+  List.iter
+    (fun (k, h) -> Fmt.pf ppf "%-40s %a@." k Histo.pp h)
+    (histos_alist t);
+  if t.span_count > 0 then Fmt.pf ppf "%-40s %d@." "spans.events" t.span_count

@@ -1,0 +1,56 @@
+(** Per-world observability registry: counters, gauges, histograms, the
+    causal span log, and the deterministic circuit-id allocator. Subsumes
+    [Ntcs_util.Metrics], which is a thin shim over this module. *)
+
+type stat = [ `Counter of int | `Gauge of float ]
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** {1 Counters and gauges} *)
+
+val incr : ?by:int -> t -> string -> unit
+val get : t -> string -> int
+val set_gauge : t -> string -> float -> unit
+val gauge : t -> string -> float
+
+val counters_alist : t -> (string * int) list
+val gauges_alist : t -> (string * float) list
+
+val stats_alist : t -> (string * stat) list
+(** Counters and gauges merged, sorted by name. *)
+
+(** {1 Histograms} *)
+
+val observe : t -> string -> int -> unit
+(** Record a sample in histogram [name], creating it on first use. *)
+
+val histo : t -> string -> Histo.t
+(** The histogram named [name], created empty on first use. *)
+
+val find_histo : t -> string -> Histo.t option
+val histos_alist : t -> (string * Histo.t) list
+
+(** {1 Circuit ids and spans} *)
+
+val fresh_circuit : t -> int
+(** Next world-unique circuit id (1, 2, ...). Allocation order is fixed by
+    the deterministic scheduler, so equal seeds allocate identical ids. *)
+
+val circuits_allocated : t -> int
+
+val span : t -> Span.event -> unit
+val spans : t -> Span.event list
+(** Oldest first. *)
+
+val span_count : t -> int
+
+(** {1 Printing} *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** Counters then gauges, sorted — the [Metrics.pp] surface. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp_stats] plus histogram summaries and the span-log size. *)

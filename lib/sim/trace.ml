@@ -16,19 +16,39 @@ type t = {
   mutable count : int;
   mutable enabled : bool;
   mutable cats : string list; (* empty = record everything *)
+  interned : (string, string * int ref) Hashtbl.t;
+      (* category -> (the one shared copy, recorded-entry count). Call sites
+         pass fresh string literals on every record; keeping one copy per
+         category means the hot trace path stops allocating category strings
+         and [categories] reads counts without rescanning the entries. *)
 }
 
-let create () = { entries = []; count = 0; enabled = true; cats = [] }
+let create () =
+  { entries = []; count = 0; enabled = true; cats = []; interned = Hashtbl.create 32 }
 
 let set_enabled t b = t.enabled <- b
 
 let set_filter t cats = t.cats <- cats
 
+let intern t cat =
+  match Hashtbl.find_opt t.interned cat with
+  | Some (c, n) -> (c, n)
+  | None ->
+    let v = (cat, ref 0) in
+    Hashtbl.replace t.interned cat v;
+    v
+
 let record t ~at_us ~cat ~actor detail =
   if t.enabled && (t.cats = [] || List.exists (fun p -> p = cat) t.cats) then begin
+    let cat, seen = intern t cat in
+    incr seen;
     t.entries <- { at_us; cat; actor; detail } :: t.entries;
     t.count <- t.count + 1
   end
+
+let categories t =
+  Ntcs_util.sorted_bindings t.interned
+  |> List.filter_map (fun (_, (c, n)) -> if !n > 0 then Some (c, !n) else None)
 
 let entries t = List.rev t.entries
 
@@ -36,7 +56,9 @@ let count t = t.count
 
 let clear t =
   t.entries <- [];
-  t.count <- 0
+  t.count <- 0;
+  (* lint: allow determinism(Hashtbl.iter) — zeroing every per-category counter is order-free *)
+  Hashtbl.iter (fun _ (_, n) -> n := 0) t.interned
 
 let matching t ~cat = List.filter (fun e -> e.cat = cat) (entries t)
 

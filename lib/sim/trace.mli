@@ -22,6 +22,12 @@ val set_filter : t -> string list -> unit
     selectivity" of §6.2. *)
 
 val record : t -> at_us:int -> cat:string -> actor:string -> string -> unit
+(** Categories are interned: the stored entry shares one copy of the
+    category string per trace, so the hot path does not allocate. *)
+
+val categories : t -> (string * int) list
+(** Every category recorded so far with its entry count, sorted by name. *)
+
 val entries : t -> entry list
 val count : t -> int
 val clear : t -> unit

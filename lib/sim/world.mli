@@ -16,8 +16,26 @@ val trace : t -> Trace.t
 val rng : t -> Ntcs_util.Rng.t
 val now : t -> int
 
+val obs : t -> Ntcs_obs.Registry.t
+(** The world's observability registry — the same value as {!metrics}
+    ([Metrics.t = Ntcs_obs.Registry.t]), under its full interface:
+    histograms, causal spans and the circuit-id allocator. *)
+
 val record : t -> cat:string -> actor:string -> string -> unit
 (** Trace an event at the current virtual time. *)
+
+val observe : t -> string -> int -> unit
+(** Record a histogram sample at the current virtual time. *)
+
+val span :
+  t ->
+  ctx:Ntcs_obs.Span.ctx ->
+  phase:Ntcs_obs.Span.phase ->
+  name:string ->
+  actor:string ->
+  string ->
+  unit
+(** Record a span event stamped with the current virtual time. *)
 
 (** {1 Topology} *)
 

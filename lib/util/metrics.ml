@@ -1,47 +1,18 @@
-(* Named counter registry. The NTCS layers bump counters (conversions
-   performed/avoided, NSP round trips, faults, recursive entries, ...) and the
-   experiment harness reads them out. A registry is explicit state — one per
-   simulated world — so parallel experiments never share counters. *)
+(* Named counter/gauge registry — now a thin shim over the observability
+   plane's [Ntcs_obs.Registry]. The type equality is deliberate and public:
+   the registry a world carries *is* its metrics, so every existing counter
+   call site keeps working while spans and histograms accumulate in the same
+   state. A registry is explicit — one per simulated world — so parallel
+   experiments never share counters. *)
 
-type t = {
-  counters : (string, int ref) Hashtbl.t;
-  gauges : (string, float ref) Hashtbl.t;
-}
+type t = Ntcs_obs.Registry.t
 
-let create () = { counters = Hashtbl.create 32; gauges = Hashtbl.create 8 }
+let create () = Ntcs_obs.Registry.create ()
+let incr ?by t name = Ntcs_obs.Registry.incr ?by t name
+let get = Ntcs_obs.Registry.get
+let set_gauge = Ntcs_obs.Registry.set_gauge
+let gauge = Ntcs_obs.Registry.gauge
+let reset = Ntcs_obs.Registry.reset
 
-let counter t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.replace t.counters name r;
-    r
-
-let incr ?(by = 1) t name =
-  let r = counter t name in
-  r := !r + by
-
-let get t name = match Hashtbl.find_opt t.counters name with
-  | Some r -> !r
-  | None -> 0
-
-let set_gauge t name v =
-  match Hashtbl.find_opt t.gauges name with
-  | Some r -> r := v
-  | None -> Hashtbl.replace t.gauges name (ref v)
-
-let gauge t name = match Hashtbl.find_opt t.gauges name with
-  | Some r -> !r
-  | None -> 0.
-
-let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.gauges
-
-let to_alist t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-let pp ppf t =
-  List.iter (fun (k, v) -> Fmt.pf ppf "%-40s %d@." k v) (to_alist t)
+let to_alist = Ntcs_obs.Registry.stats_alist
+let pp = Ntcs_obs.Registry.pp_stats

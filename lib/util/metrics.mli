@@ -1,6 +1,10 @@
-(** Named counters and gauges, one registry per simulated world. *)
+(** Named counters and gauges, one registry per simulated world.
 
-type t
+    A thin shim over {!Ntcs_obs.Registry} — the type equality is public so
+    code holding a [Metrics.t] can also record histograms and spans against
+    the same per-world registry. *)
+
+type t = Ntcs_obs.Registry.t
 
 val create : unit -> t
 
@@ -15,7 +19,8 @@ val gauge : t -> string -> float
 
 val reset : t -> unit
 
-val to_alist : t -> (string * int) list
-(** Counters sorted by name. *)
+val to_alist : t -> (string * Ntcs_obs.Registry.stat) list
+(** Counters and gauges merged, sorted by name. *)
 
 val pp : Format.formatter -> t -> unit
+(** Counters then gauges, sorted by name. *)

@@ -194,6 +194,46 @@ let prop_lru_last_write_wins =
           Ntcs_util.Lru.find c k = Some expected)
         ops)
 
+let prop_heap_equal_keys_fifo =
+  qtest "heap with (key, seq) tie-break drains equal keys in insertion order"
+    QCheck.(list (int_bound 3))
+    (fun keys ->
+      (* The simulator's usage pattern: stability comes from the (time,
+         sequence) key, so equal times must drain in push order. *)
+      let h =
+        Ntcs_util.Heap.create ~leq:(fun (a, sa) (b, sb) -> a < b || (a = b && sa <= sb))
+      in
+      List.iteri (fun i k -> Ntcs_util.Heap.push h (k, i)) keys;
+      Ntcs_util.Heap.to_list h = List.sort compare (List.mapi (fun i k -> (k, i)) keys))
+
+let prop_lru_iter_preserves_recency =
+  qtest "lru iter is recency order and does not perturb it"
+    QCheck.(pair (int_range 1 8) (list (pair (int_bound 7) small_int)))
+    (fun (cap, ops) ->
+      let c = Ntcs_util.Lru.create cap in
+      (* Model recency as a most-recent-first key list. *)
+      let model = ref [] in
+      List.iter
+        (fun (k, v) ->
+          Ntcs_util.Lru.set c k v;
+          model := k :: List.filter (fun k' -> k' <> k) !model;
+          model := List.filteri (fun i _ -> i < cap) !model)
+        ops;
+      let snapshot () =
+        let acc = ref [] in
+        Ntcs_util.Lru.iter c (fun k _ -> acc := k :: !acc);
+        List.rev !acc
+      in
+      let order1 = snapshot () in
+      let order2 = snapshot () in
+      order1 = !model && order2 = order1
+      && (* Eviction after iter still removes the true LRU entry. *)
+      (match List.rev !model with
+       | lru :: _ when List.length !model = cap ->
+         Ntcs_util.Lru.set c 1000 0;
+         not (Ntcs_util.Lru.mem c lru)
+       | _ -> true))
+
 let prop_bqueue_fifo =
   qtest "bqueue preserves order of accepted items" QCheck.(pair (int_range 1 8) (list small_int))
     (fun (cap, items) ->
@@ -310,6 +350,55 @@ let prop_phys_addr_roundtrip =
       | Some b -> Ntcs_ipcs.Phys_addr.equal a b
       | None -> false)
 
+(* --- observability histograms --- *)
+
+let histo_of l =
+  let h = Ntcs_obs.Histo.create () in
+  List.iter (Ntcs_obs.Histo.add h) l;
+  h
+
+let prop_histo_bucket_bounds =
+  qtest "histo bucket bounds bracket every value"
+    QCheck.(oneof [ int_bound 100; int_bound 100_000; map abs int ])
+    (fun v ->
+      let v = abs v in
+      let i = Ntcs_obs.Histo.bucket_of v in
+      Ntcs_obs.Histo.lower_bound i <= v && v <= Ntcs_obs.Histo.upper_bound i)
+
+let prop_histo_buckets_partition =
+  qtest "histo buckets tile the value range without gaps"
+    QCheck.(int_bound 250)
+    (fun i ->
+      Ntcs_obs.Histo.upper_bound i + 1 = Ntcs_obs.Histo.lower_bound (i + 1))
+
+let prop_histo_merge_assoc =
+  qtest "histo merge is associative"
+    QCheck.(triple (list small_nat) (list small_nat) (list small_nat))
+    (fun (a, b, c) ->
+      let ha = histo_of a and hb = histo_of b and hc = histo_of c in
+      Ntcs_obs.Histo.equal
+        (Ntcs_obs.Histo.merge (Ntcs_obs.Histo.merge ha hb) hc)
+        (Ntcs_obs.Histo.merge ha (Ntcs_obs.Histo.merge hb hc)))
+
+let prop_histo_merge_is_union =
+  qtest "merging histograms equals one histogram of all samples"
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (a, b) ->
+      Ntcs_obs.Histo.equal
+        (Ntcs_obs.Histo.merge (histo_of a) (histo_of b))
+        (histo_of (a @ b)))
+
+let prop_histo_percentiles_bounded =
+  qtest "histo percentiles lie within min/max"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 60) small_nat)
+    (fun xs ->
+      let h = histo_of xs in
+      List.for_all
+        (fun p ->
+          let v = Ntcs_obs.Histo.percentile h p in
+          v >= Ntcs_obs.Histo.min_value h && v <= Ntcs_obs.Histo.max_value h)
+        [ 1.; 50.; 95.; 99.; 100. ])
+
 let prop_rng_int_bounds =
   qtest "rng int respects bounds" QCheck.(pair (int_range 1 1000) small_int)
     (fun (bound, seed) ->
@@ -335,8 +424,12 @@ let () =
       ("shift", [ prop_shift_roundtrip; prop_bitfields_roundtrip ]);
       ("protocol", [ prop_addr_roundtrip; prop_header_roundtrip ]);
       ( "containers",
-        [ prop_heap_sorts; prop_lru_capacity; prop_lru_last_write_wins; prop_bqueue_fifo;
+        [ prop_heap_sorts; prop_heap_equal_keys_fifo; prop_lru_capacity;
+          prop_lru_last_write_wins; prop_lru_iter_preserves_recency; prop_bqueue_fifo;
           prop_stats_bounds ] );
+      ( "obs",
+        [ prop_histo_bucket_bounds; prop_histo_buckets_partition; prop_histo_merge_assoc;
+          prop_histo_merge_is_union; prop_histo_percentiles_bounded ] );
       ( "application",
         [ prop_tokenizer_idempotent_text; prop_corpus_partition_preserves;
           prop_distributed_search_equals_local; prop_phys_addr_roundtrip; prop_rng_int_bounds ]

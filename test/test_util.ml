@@ -154,10 +154,27 @@ let test_metrics () =
   Alcotest.(check int) "x" 5 (Metrics.get m "x");
   Alcotest.(check int) "y" 1 (Metrics.get m "y");
   Alcotest.(check int) "absent" 0 (Metrics.get m "z");
-  Alcotest.(check (list (pair string int))) "alist sorted" [ ("x", 5); ("y", 1) ]
+  let stat = Alcotest.testable (fun ppf -> function
+    | `Counter n -> Fmt.pf ppf "counter %d" n
+    | `Gauge g -> Fmt.pf ppf "gauge %g" g)
+    (fun a b -> match (a, b) with
+      | `Counter a, `Counter b -> a = b
+      | `Gauge a, `Gauge b -> abs_float (a -. b) < 1e-9
+      | _ -> false)
+  in
+  Alcotest.(check (list (pair string stat))) "alist sorted"
+    [ ("x", `Counter 5); ("y", `Counter 1) ]
     (Metrics.to_alist m);
   Metrics.set_gauge m "g" 2.5;
   Alcotest.(check (float 1e-9)) "gauge" 2.5 (Metrics.gauge m "g");
+  (* The long-standing to_alist/pp gap: gauges now show up alongside
+     counters, merged into one name-sorted listing. *)
+  Alcotest.(check (list (pair string stat))) "alist includes gauges"
+    [ ("g", `Gauge 2.5); ("x", `Counter 5); ("y", `Counter 1) ]
+    (Metrics.to_alist m);
+  let printed = Fmt.str "%a" Metrics.pp m in
+  Alcotest.(check bool) "pp includes gauges" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = 'g') (String.split_on_char '\n' printed));
   Metrics.reset m;
   Alcotest.(check int) "reset" 0 (Metrics.get m "x")
 
