@@ -961,3 +961,308 @@ let obs_snapshot () =
   Printf.printf "\n  wrote %s (%d circuits, %d span events; seed-stable bytes)\n" path
     (Ntcs_obs.Registry.circuits_allocated r)
     (Ntcs_obs.Registry.span_count r)
+
+(* ------------------------------------------------------------------ *)
+(* HOT: zero-copy hot-path baseline (writes BENCH_hotpath.json)        *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-view pipeline materialised every forwarded frame twice: the
+   gateway decoded it (one payload copy), rebuilt the header record, and
+   re-encoded header + payload into a fresh buffer (a second, larger
+   copy). The view pipeline wraps the received bytes once and pokes two
+   header words in place. Both shapes are measured here on the host CPU
+   (micro), and the 3-gateway E7 chain is driven end to end so the
+   pipeline's own meters — frame.bytes_copied, pool.hits/misses — report
+   what the running system actually does (macro). The full run writes
+   BENCH_hotpath.json as the repo's first performance baseline. *)
+
+let hot_payload_len = 256
+
+let hot_frame () =
+  let payload = Bytes.make hot_payload_len 'x' in
+  let h =
+    Proto.make_header ~kind:Proto.Data
+      ~src:(Addr.unique ~server_id:1 ~value:7)
+      ~dst:(Addr.unique ~server_id:2 ~value:9)
+      ~ivc:3 ~payload_len:hot_payload_len ()
+  in
+  (h, payload, Proto.encode_frame h payload)
+
+(* One gateway transit, legacy shape: decode (copies the payload out),
+   rebuild the header, re-encode (copies header + payload back in). *)
+let legacy_hop frame =
+  let h, payload = Proto.decode_frame frame in
+  ignore (Proto.encode_frame { h with Proto.ivc = h.Proto.ivc + 1; hops = 1 } payload)
+
+(* One gateway transit, view shape: wrap, decode the header lazily, poke
+   two words in place. [patch_hops 1] rather than [h.hops + 1] so repeated
+   benchmark iterations cannot walk the count into the E7 overflow guard. *)
+let view_hop frame =
+  let v = Proto.Frame.of_bytes frame in
+  let h = Proto.Frame.header v in
+  Proto.Frame.patch_ivc v (h.Proto.ivc + 1);
+  Proto.Frame.patch_hops v 1
+
+let minor_words_per ~n f =
+  f ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    f ()
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int n
+
+(* The parameterised E7 line: client on lan0, one echo server [hops]
+   gateways away. Returns the meters the macro table and the JSON need. *)
+type hot_chain_result = {
+  hc_hops : int;
+  hc_ok : int;
+  hc_frames_sent : int;
+  hc_forwards : int;
+  hc_copied_count : int;
+  hc_copied_sum : int;
+  hc_pool_hits : int;
+  hc_pool_misses : int;
+  hc_wall_s : float;
+  hc_minor_words_per_msg : float;
+}
+
+let hot_chain ~hops ~msgs ~force_packed () =
+  let nets =
+    List.init (hops + 1) (fun i -> (Printf.sprintf "lan%d" i, Ntcs_sim.Net.Tcp_lan))
+  in
+  let machines =
+    ("client-m", Ntcs_sim.Machine.Sun3, [ "lan0" ])
+    :: ("ns-m", Ntcs_sim.Machine.Vax, [ "lan0" ])
+    :: (Printf.sprintf "srv%d" hops, Ntcs_sim.Machine.Sun3, [ Printf.sprintf "lan%d" hops ])
+    :: List.init hops (fun i ->
+           ( Printf.sprintf "gwm%d" i,
+             Ntcs_sim.Machine.Sun3,
+             [ Printf.sprintf "lan%d" i; Printf.sprintf "lan%d" (i + 1) ] ))
+  in
+  let gateways =
+    List.init hops (fun i ->
+        ( Printf.sprintf "gw%d" i,
+          Printf.sprintf "gwm%d" i,
+          [ Printf.sprintf "lan%d" i; Printf.sprintf "lan%d" (i + 1) ] ))
+  in
+  let tweak cfg = if force_packed then { cfg with Node.force_packed = true } else cfg in
+  let c = Cluster.build ~seed:42 ~tweak ~nets ~machines ~gateways ~ns:"ns-m" () in
+  Cluster.settle c;
+  spawn_echo c ~machine:(Printf.sprintf "srv%d" hops) ~name:"far";
+  Cluster.settle ~dt:10_000_000 c;
+  let ok = ref 0 in
+  (* A structured payload, so [force_packed] actually changes the rendered
+     bytes (a raw payload would bypass conversion-mode selection). Image
+     size = hot_payload_len. *)
+  let layout =
+    List.init (hot_payload_len / 8) (fun _ -> Layout.F_i32)
+    @ [ Layout.F_char_array (hot_payload_len / 2) ]
+  in
+  let values =
+    List.map
+      (function
+        | Layout.F_i32 -> Layout.V_int 305419896
+        | Layout.F_char_array n -> Layout.V_str (String.make (n - 1) 'x')
+        | Layout.F_i8 | Layout.F_i16 | Layout.F_i64 -> Layout.V_int 0)
+      layout
+  in
+  let payload =
+    Convert.payload
+      ~image:(fun () -> Layout.encode ~order:Endian.Be layout values)
+      ~packed:(fun () -> Packed.run_pack (Packed.of_layout layout) values)
+  in
+  ignore
+    (Cluster.spawn c ~machine:"client-m" ~name:"client" (fun node ->
+         match Commod.bind node ~name:"client" with
+         | Error _ -> ()
+         | Ok commod -> (
+           match Ali_layer.locate commod "far" with
+           | Error _ -> ()
+           | Ok addr ->
+             for _ = 1 to msgs do
+               match Ali_layer.send_sync commod ~dst:addr ~timeout_us:30_000_000 payload with
+               | Ok _ -> incr ok
+               | Error _ -> ()
+             done)));
+  let t0 = Unix.gettimeofday () in
+  let w0 = Gc.minor_words () in
+  Cluster.settle ~dt:180_000_000 c;
+  let minor = Gc.minor_words () -. w0 in
+  let wall = Unix.gettimeofday () -. t0 in
+  let r = Cluster.metrics c in
+  let copied = Ntcs_obs.Registry.histo r "frame.bytes_copied" in
+  {
+    hc_hops = hops;
+    hc_ok = !ok;
+    hc_frames_sent = Ntcs_util.Metrics.get r "nd.frames_sent";
+    hc_forwards = Ntcs_util.Metrics.get r "gw.forwards";
+    hc_copied_count = Ntcs_obs.Histo.count copied;
+    hc_copied_sum = Ntcs_obs.Histo.sum copied;
+    hc_pool_hits = Ntcs_util.Metrics.get r "pool.hits";
+    hc_pool_misses = Ntcs_util.Metrics.get r "pool.misses";
+    hc_wall_s = wall;
+    hc_minor_words_per_msg = (if !ok > 0 then minor /. float_of_int !ok else minor);
+  }
+
+let hot_path ~smoke () =
+  Bench_util.header
+    (if smoke then "HOT (smoke): zero-copy hot path, 1-second slice"
+     else "HOT: zero-copy hot-path baseline")
+    "perf engineering for the reproduction itself (no paper counterpart)";
+  let quota = if smoke then 0.05 else 0.5 in
+  let n = if smoke then 2_000 else 50_000 in
+
+  (* --- micro: one gateway transit, legacy vs view --- *)
+  let _, _, frame = hot_frame () in
+  let legacy_copied = (2 * hot_payload_len) + Proto.header_bytes in
+  let view_copied = 0 in
+  let timings =
+    Bench_util.bechamel_run ~quota
+      [
+        Bechamel.Test.make ~name:"legacy decode+re-encode"
+          (Bechamel.Staged.stage (fun () -> legacy_hop frame));
+        Bechamel.Test.make ~name:"view patch-in-place"
+          (Bechamel.Staged.stage (fun () -> view_hop frame));
+      ]
+  in
+  let ns_of name = Option.value ~default:nan (List.assoc_opt ("g/" ^ name) timings) in
+  let legacy_ns = ns_of "legacy decode+re-encode" and view_ns = ns_of "view patch-in-place" in
+  let legacy_words = minor_words_per ~n (fun () -> legacy_hop frame) in
+  let view_words = minor_words_per ~n (fun () -> view_hop frame) in
+  Bench_util.table
+    ~columns:[ "per gateway transit (256 B payload)"; "bytes copied"; "ns/hop"; "minor words/hop" ]
+    [
+      [ "legacy decode + re-encode"; string_of_int legacy_copied;
+        Bench_util.ns_per_run legacy_ns; Printf.sprintf "%.1f" legacy_words ];
+      [ "view + 2-word patch"; string_of_int view_copied;
+        Bench_util.ns_per_run view_ns; Printf.sprintf "%.1f" view_words ];
+    ];
+  Printf.printf "\n  copy reduction per forwarded frame: %dx (%d B -> %d B)\n"
+    (legacy_copied / max 1 view_copied) legacy_copied view_copied;
+
+  (* --- micro: the send path, fresh buffer vs pooled encode_into --- *)
+  let h, payload, _ = hot_frame () in
+  let pool = Ntcs_util.Pool.create () in
+  let fresh_send () = ignore (Proto.encode_frame h payload) in
+  let pooled_send () =
+    let buf = Ntcs_util.Pool.alloc pool (Proto.header_bytes + hot_payload_len) in
+    ignore (Proto.Frame.encode_into h ~payload buf ~off:0);
+    Ntcs_util.Pool.release pool buf
+  in
+  let fresh_words = minor_words_per ~n fresh_send in
+  let pooled_words = minor_words_per ~n pooled_send in
+  Bench_util.table
+    ~columns:[ "per send (256 B payload)"; "minor words/send" ]
+    [
+      [ "fresh buffer each send"; Printf.sprintf "%.1f" fresh_words ];
+      [ "pooled encode_into"; Printf.sprintf "%.1f" pooled_words ];
+    ];
+
+  (* --- macro: drive the chain and read the pipeline's own meters --- *)
+  let msgs = if smoke then 5 else 40 in
+  let chains =
+    if smoke then [ hot_chain ~hops:1 ~msgs ~force_packed:false () ]
+    else
+      [
+        hot_chain ~hops:1 ~msgs ~force_packed:false ();
+        hot_chain ~hops:3 ~msgs ~force_packed:false ();
+      ]
+  in
+  let pct a b = if a + b = 0 then "n/a" else Printf.sprintf "%.1f%%" (100. *. float_of_int a /. float_of_int (a + b)) in
+  Bench_util.table
+    ~columns:
+      [ "gateway hops"; "calls ok"; "frames sent"; "gw forwards"; "bytes copied (sum)";
+        "copied/forward"; "pool hit rate"; "msgs/host-s"; "minor words/msg" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.hc_hops;
+           string_of_int r.hc_ok;
+           string_of_int r.hc_frames_sent;
+           string_of_int r.hc_forwards;
+           string_of_int r.hc_copied_sum;
+           (if r.hc_forwards = 0 then "n/a"
+            else Printf.sprintf "%.1f" (float_of_int r.hc_copied_sum /. float_of_int r.hc_forwards));
+           pct r.hc_pool_hits r.hc_pool_misses;
+           (if r.hc_wall_s > 0. then Printf.sprintf "%.0f" (float_of_int r.hc_ok /. r.hc_wall_s)
+            else "n/a");
+           Printf.sprintf "%.0f" r.hc_minor_words_per_msg;
+         ])
+       chains);
+  Printf.printf
+    "\n  (bytes copied counts every histogram observation on the frame path;\n\
+    \   forwarded frames observe 0 — the sum is send-side materialisation only)\n";
+
+  (* --- modes: image vs forced packed over one gateway --- *)
+  let modes =
+    if smoke then []
+    else
+      [
+        ("image", hot_chain ~hops:1 ~msgs ~force_packed:false ());
+        ("packed (forced)", hot_chain ~hops:1 ~msgs ~force_packed:true ());
+      ]
+  in
+  if modes <> [] then
+    Bench_util.table
+      ~columns:[ "conversion mode"; "calls ok"; "bytes copied (sum)"; "minor words/msg" ]
+      (List.map
+         (fun (label, r) ->
+           [
+             label; string_of_int r.hc_ok; string_of_int r.hc_copied_sum;
+             Printf.sprintf "%.0f" r.hc_minor_words_per_msg;
+           ])
+         modes);
+
+  (* --- artifact --- *)
+  if not smoke then begin
+    let b = Buffer.create 2048 in
+    let chain_json r =
+      Printf.sprintf
+        "{\"hops\":%d,\"calls_ok\":%d,\"frames_sent\":%d,\"gw_forwards\":%d,\
+         \"bytes_copied_sum\":%d,\"bytes_copied_count\":%d,\"pool_hits\":%d,\
+         \"pool_misses\":%d,\"wall_s\":%.3f,\"minor_words_per_msg\":%.0f}"
+        r.hc_hops r.hc_ok r.hc_frames_sent r.hc_forwards r.hc_copied_sum
+        r.hc_copied_count r.hc_pool_hits r.hc_pool_misses r.hc_wall_s
+        r.hc_minor_words_per_msg
+    in
+    Buffer.add_string b "{\n  \"schema\": \"ntcs.bench.hotpath/1\",\n";
+    Buffer.add_string b
+      (Printf.sprintf "  \"payload_bytes\": %d,\n  \"header_bytes\": %d,\n"
+         hot_payload_len Proto.header_bytes);
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"micro\": {\n\
+         \    \"legacy_bytes_copied_per_forward\": %d,\n\
+         \    \"view_bytes_copied_per_forward\": %d,\n\
+         \    \"copy_reduction_factor\": %d,\n\
+         \    \"legacy_ns_per_hop\": %.0f,\n\
+         \    \"view_ns_per_hop\": %.0f,\n\
+         \    \"legacy_minor_words_per_hop\": %.1f,\n\
+         \    \"view_minor_words_per_hop\": %.1f,\n\
+         \    \"fresh_minor_words_per_send\": %.1f,\n\
+         \    \"pooled_minor_words_per_send\": %.1f\n\
+         \  },\n"
+         legacy_copied view_copied (legacy_copied / max 1 view_copied)
+         legacy_ns view_ns legacy_words view_words fresh_words pooled_words);
+    Buffer.add_string b "  \"chains\": [\n    ";
+    Buffer.add_string b (String.concat ",\n    " (List.map chain_json chains));
+    Buffer.add_string b "\n  ],\n  \"modes\": {\n    ";
+    Buffer.add_string b
+      (String.concat ",\n    "
+         (List.map
+            (fun (label, r) ->
+              Printf.sprintf "\"%s\": %s"
+                (if label = "image" then "image" else "packed")
+                (chain_json r))
+            modes));
+    Buffer.add_string b "\n  }\n}\n";
+    let path = "BENCH_hotpath.json" in
+    let oc = open_out path in
+    Buffer.output_buffer oc b;
+    close_out oc;
+    Printf.printf "\n  wrote %s (host-timing fields vary per machine; copy/alloc fields do not)\n"
+      path
+  end
+
+let hot_full () = hot_path ~smoke:false ()
+let hot_smoke () = hot_path ~smoke:true ()

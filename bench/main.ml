@@ -21,6 +21,10 @@ let experiments =
     ("s1", "S1: substrate throughput", Experiments.s1_sim_throughput);
     ("obs", "OBS: observability-plane snapshot (writes BENCH_obs.json)",
      Experiments.obs_snapshot);
+    ("hot", "HOT: zero-copy hot-path baseline (writes BENCH_hotpath.json)",
+     Experiments.hot_full);
+    ("hot-smoke", "HOT (smoke): 1-second slice of the hot-path bench",
+     Experiments.hot_smoke);
   ]
 
 let () =

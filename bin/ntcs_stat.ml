@@ -96,6 +96,39 @@ let layer_table r =
     (Registry.histos_alist r);
   Buffer.contents b
 
+(* --- buffer-pool report (--pool) --- *)
+
+(* What the zero-copy pipeline cost: pool hit rate (how often a send reused
+   a buffer instead of allocating), buffers still out, and the distribution
+   of bytes actually copied per frame-path observation — forwarded frames
+   record 0, send-side materialisation records the payload size. *)
+let pool_report r =
+  let b = Buffer.create 512 in
+  let hits = Ntcs_util.Metrics.get r "pool.hits" in
+  let misses = Ntcs_util.Metrics.get r "pool.misses" in
+  let unpooled = Ntcs_util.Metrics.get r "pool.unpooled" in
+  Buffer.add_string b "-- buffer pool and copy discipline --\n";
+  Buffer.add_string b
+    (Printf.sprintf "pool allocations: %d hits, %d misses, %d unpooled (hit rate %s)\n"
+       hits misses unpooled
+       (if hits + misses = 0 then "n/a"
+        else
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int hits /. float_of_int (hits + misses))));
+  Buffer.add_string b
+    (Printf.sprintf "buffers out now: %.0f   high water: %.0f\n"
+       (Ntcs_util.Metrics.gauge r "pool.in_use")
+       (Ntcs_util.Metrics.gauge r "pool.high_water"));
+  (match Registry.find_histo r "frame.bytes_copied" with
+   | None -> Buffer.add_string b "frame.bytes_copied: no observations\n"
+   | Some h ->
+     Buffer.add_string b
+       (Printf.sprintf
+          "frame.bytes_copied: count %d  sum %d  p50 %d  p95 %d  p99 %d  max %d\n"
+          (Histo.count h) (Histo.sum h) (Histo.p50 h) (Histo.p95 h) (Histo.p99 h)
+          (Histo.max_value h)));
+  Buffer.contents b
+
 (* --- per-circuit timelines --- *)
 
 (* Span events grouped by circuit id, preserving time order within each. *)
@@ -199,7 +232,7 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let report ~seed ~faults ~json ~chrome ~spans_out =
+let report ~seed ~faults ~json ~pool ~chrome ~spans_out =
   let r = run_workload ~seed ~faults in
   (match chrome with
    | Some path ->
@@ -217,6 +250,10 @@ let report ~seed ~faults ~json ~chrome ~spans_out =
       (if faults then ", fault plane armed" else "");
     print_string (layer_table r);
     print_newline ();
+    if pool then begin
+      print_string (pool_report r);
+      print_newline ()
+    end;
     print_string (circuit_report r);
     Printf.printf "\ncircuits allocated: %d   span events: %d\n"
       (Registry.circuits_allocated r) (Registry.span_count r)
@@ -231,6 +268,12 @@ let () =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
   in
+  let pool =
+    Arg.(value & flag
+         & info [ "pool" ]
+             ~doc:"Print the buffer-pool section: hit rate, buffers in flight, \
+                   and the bytes-copied-per-frame distribution.")
+  in
   let chrome =
     Arg.(value & opt (some string) None
          & info [ "chrome" ] ~docv:"FILE"
@@ -241,9 +284,9 @@ let () =
          & info [ "spans" ] ~docv:"FILE" ~doc:"Write span events as JSONL.")
   in
   let term =
-    Term.(const (fun seed faults json chrome spans_out ->
-              report ~seed ~faults ~json ~chrome ~spans_out)
-          $ seed $ faults $ json $ chrome $ spans_out)
+    Term.(const (fun seed faults json pool chrome spans_out ->
+              report ~seed ~faults ~json ~pool ~chrome ~spans_out)
+          $ seed $ faults $ json $ pool $ chrome $ spans_out)
   in
   exit
     (Cmd.eval'

@@ -88,6 +88,13 @@ let handle_open t (in_net : Net.id) (in_commod : Commod.t) in_circuit (h : Proto
          (Addr.to_string req.Proto.final_dst))
   end
   else begin
+  if h.Proto.hops >= 255 then begin
+    (* The 8-bit hop field is full: a route this deep is a loop (E7), and
+       encoding hops+1 would be rejected rather than silently wrapped. *)
+    Ntcs_util.Metrics.incr (metrics t) "gw.hop_overflow";
+    send_reject in_commod in_circuit ~h "hop limit exceeded"
+  end
+  else begin
   let target =
     match req.Proto.route with [] -> req.Proto.final_dst | next :: _ -> next
   in
@@ -163,6 +170,7 @@ let handle_open t (in_net : Net.id) (in_commod : Commod.t) in_circuit (h : Proto
             send_reject in_commod in_circuit ~h (Errors.to_string e)
         end))
   end
+  end
 
 let remove_splice_pair t in_key (out_leg : leg) =
   (* Idempotent: a duplicated IVC_CLOSE (the fault plane can replay control
@@ -184,42 +192,62 @@ let remove_splice_pair t in_key (out_leg : leg) =
 (* Forward one frame across a splice, label-swapped. Messages can sit in a
    dead leg's queue and be lost during reconfiguration — "for all practical
    purposes, this is indistinguishable from the issues already discussed due
-   to dynamic reconfiguration" (§4.3). *)
-let handle_frame t (net : Net.id) (_commod : Commod.t) circuit (h : Proto.header) payload =
+   to dynamic reconfiguration" (§4.3).
+
+   The forward is zero-copy: only the two affected shift-mode header words
+   (label, hop count) are patched in place; the frame's bytes otherwise
+   leave exactly as they arrived. [h] is the pre-patch header snapshot —
+   patches build a fresh memoised record, so the error path below still
+   sees the inbound label and source. *)
+let handle_frame t (net : Net.id) (_commod : Commod.t) circuit (view : Proto.Frame.t) =
+  let h = Proto.Frame.header view in
   let key = leg_key net circuit h.Proto.ivc in
   match Hashtbl.find_opt t.splices key with
   | None -> Ntcs_util.Metrics.incr (metrics t) "gw.orphan_frames"
   | Some out ->
-    let fwd = { h with Proto.ivc = out.lg_label; hops = h.Proto.hops + 1 } in
-    Ntcs_util.Metrics.incr (metrics t) "gw.forwards";
-    (* Every forwarding decision is traced so the §4.2 invariant — gateways
-       never talk to each other — is checkable from event logs (lint R3)
-       instead of assumed. *)
-    trace t ~cat:"gw.forward"
-      (Printf.sprintf "net%d label %d -> net%d label %d kind=%s dst=%s span=%s" net
-         h.Proto.ivc out.lg_net out.lg_label
-         (Proto.kind_to_string h.Proto.kind)
-         (Addr.to_string h.Proto.dst)
-         (Ntcs_obs.Span.to_string h.Proto.span));
-    if not (Ntcs_obs.Span.is_none h.Proto.span) then
-      World.span (Node.world t.node) ~ctx:h.Proto.span ~phase:Ntcs_obs.Span.I
-        ~name:"gw.forward" ~actor:t.gw_name
-        (Printf.sprintf "net%d->net%d" net out.lg_net);
-    (match Nd_layer.send_frame out.lg_circuit fwd payload with
-     | Ok () -> ()
-     | Error _ ->
-       (* Outbound leg just died: tear the chain down toward the inbound
-          side. The reader on the dead leg will handle the other side. *)
-       let close =
-         Proto.make_header ~kind:Proto.Ivc_close
-           ~src:(Nd_layer.my_addr (Commod.nd out.lg_commod))
-           ~dst:h.Proto.src ~ivc:h.Proto.ivc ~payload_len:0 ()
-       in
-       ignore
-         (Nd_layer.send_frame circuit close
-            (Ntcs_wire.Packed.run_pack Proto.reason_codec "leg failed"));
-       remove_splice_pair t key out);
-    if h.Proto.kind = Proto.Ivc_close then remove_splice_pair t key out
+    if h.Proto.hops >= 255 then begin
+      (* Hop field full: this frame is looping (E7). Dropping it here is
+         the loop protection the 8-bit counter exists for — wrapping to a
+         small value would let it circulate forever. *)
+      Ntcs_util.Metrics.incr (metrics t) "gw.hop_overflow";
+      trace t ~cat:"gw.hop_overflow"
+        (Printf.sprintf "net%d label %d kind=%s dst=%s" net h.Proto.ivc
+           (Proto.kind_to_string h.Proto.kind)
+           (Addr.to_string h.Proto.dst))
+    end
+    else begin
+      Proto.Frame.patch_ivc view out.lg_label;
+      Proto.Frame.patch_hops view (h.Proto.hops + 1);
+      Ntcs_util.Metrics.incr (metrics t) "gw.forwards";
+      (* Every forwarding decision is traced so the §4.2 invariant — gateways
+         never talk to each other — is checkable from event logs (lint R3)
+         instead of assumed. *)
+      trace t ~cat:"gw.forward"
+        (Printf.sprintf "net%d label %d -> net%d label %d kind=%s dst=%s span=%s" net
+           h.Proto.ivc out.lg_net out.lg_label
+           (Proto.kind_to_string h.Proto.kind)
+           (Addr.to_string h.Proto.dst)
+           (Ntcs_obs.Span.to_string h.Proto.span));
+      if not (Ntcs_obs.Span.is_none h.Proto.span) then
+        World.span (Node.world t.node) ~ctx:h.Proto.span ~phase:Ntcs_obs.Span.I
+          ~name:"gw.forward" ~actor:t.gw_name
+          (Printf.sprintf "net%d->net%d" net out.lg_net);
+      (match Nd_layer.forward_view out.lg_circuit view with
+       | Ok () -> ()
+       | Error _ ->
+         (* Outbound leg just died: tear the chain down toward the inbound
+            side. The reader on the dead leg will handle the other side. *)
+         let close =
+           Proto.make_header ~kind:Proto.Ivc_close
+             ~src:(Nd_layer.my_addr (Commod.nd out.lg_commod))
+             ~dst:h.Proto.src ~ivc:h.Proto.ivc ~payload_len:0 ()
+         in
+         ignore
+           (Nd_layer.send_frame circuit close
+              (Ntcs_wire.Packed.run_pack Proto.reason_codec "leg failed"));
+         remove_splice_pair t key out);
+      if h.Proto.kind = Proto.Ivc_close then remove_splice_pair t key out
+    end
 
 (* A whole circuit died: cascade IVC_CLOSE across every splice riding it
    (§4.3), in both directions. *)
@@ -299,8 +327,8 @@ let serve t () =
           (World.spawn (Node.world t.node) ~machine:(Node.machine t.node)
              ~name:(Printf.sprintf "%s/open-worker" t.gw_name) (fun () ->
                handle_open t net commod circuit h req))
-      | Ip_layer.Gw_frame (circuit, h, payload) ->
-        ignore (handle_frame t net commod circuit h payload)
+      | Ip_layer.Gw_frame (circuit, view) ->
+        ignore (handle_frame t net commod circuit view)
       | Ip_layer.Gw_down circuit -> handle_down t net circuit)
   done
 

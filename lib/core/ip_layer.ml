@@ -44,7 +44,7 @@ type target =
 
 type gw_event =
   | Gw_open of Nd_layer.circuit * Proto.header * Proto.ivc_open
-  | Gw_frame of Nd_layer.circuit * Proto.header * Bytes.t
+  | Gw_frame of Nd_layer.circuit * Proto.Frame.t
   | Gw_down of Nd_layer.circuit
 
 type delivery = {
@@ -425,11 +425,19 @@ let handle_circuit_down t circuit =
   let peers = List.map (fun ivc -> ivc.peer) dead @ direct_peer in
   Down (List.sort_uniq Addr.compare peers)
 
+(* Materialise a view's payload — the one copy a locally-consumed frame
+   pays, accounted in the histogram the bench reads. *)
+let materialise t view =
+  let p = Proto.Frame.payload_bytes view in
+  Ntcs_obs.Registry.observe (metrics t) "frame.bytes_copied" (Bytes.length p);
+  p
+
 let handle_event t (ev : Nd_layer.event) =
   match ev with
   | Nd_layer.Circuit_up _ -> Consumed
   | Nd_layer.Circuit_down (circuit, _err) -> handle_circuit_down t circuit
-  | Nd_layer.Frame (circuit, h, payload) ->
+  | Nd_layer.Frame (circuit, view) ->
+    let h = Proto.Frame.header view in
     (* Cascade teardown (§4.3) is matched by leg label before any address
        check: the gateway that lost a leg cannot know the end module's
        current address, only the label of the circuit being torn down. *)
@@ -449,7 +457,7 @@ let handle_event t (ev : Nd_layer.event) =
     else if Nd_layer.is_me t.nd h.Proto.dst then begin
       match h.Proto.kind with
       | Proto.Ivc_open -> (
-        match Packed.run_unpack_result Proto.ivc_open_codec payload with
+        match Packed.run_unpack_result Proto.ivc_open_codec (materialise t view) with
         | Error m ->
           trace t ~cat:"ip.bad_open" m;
           Consumed
@@ -479,7 +487,7 @@ let handle_event t (ev : Nd_layer.event) =
         match Hashtbl.find_opt t.pending h.Proto.ivc with
         | None -> Consumed
         | Some ivar -> (
-          match Packed.run_unpack_result Proto.hello_codec payload with
+          match Packed.run_unpack_result Proto.hello_codec (materialise t view) with
           | Ok hello ->
             ignore (Sched.Ivar.try_fill ivar (Ok hello));
             Consumed
@@ -506,13 +514,15 @@ let handle_event t (ev : Nd_layer.event) =
       | Proto.Hello | Proto.Hello_ack -> Consumed (* handshake residue; ignore *)
       | Proto.Data | Proto.Dgram | Proto.Reply | Proto.Ping | Proto.Pong ->
         let src = presented_src t circuit h in
-        Deliver { del_src = src; del_hdr = h; del_payload = payload }
+        Deliver { del_src = src; del_hdr = h; del_payload = materialise t view }
     end
     else begin
-      (* Not addressed to this module: gateway forwarding, or noise. *)
+      (* Not addressed to this module: gateway forwarding, or noise. The
+         view travels whole — the gateway patches its header words in place
+         and forwards without touching the payload. *)
       match t.gw_handler with
       | Some handler ->
-        handler (Gw_frame (circuit, h, payload));
+        handler (Gw_frame (circuit, view));
         Consumed
       | None ->
         Ntcs_util.Metrics.incr (metrics t) "ip.misaddressed";

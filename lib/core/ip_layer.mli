@@ -40,7 +40,9 @@ type target =
 (** Events handed to a gateway's forwarding logic. *)
 type gw_event =
   | Gw_open of Nd_layer.circuit * Proto.header * Proto.ivc_open
-  | Gw_frame of Nd_layer.circuit * Proto.header * Bytes.t
+  | Gw_frame of Nd_layer.circuit * Proto.Frame.t
+      (** the whole received frame as a view — the gateway patches header
+          words in place and forwards without copying the payload *)
   | Gw_down of Nd_layer.circuit
 
 type delivery = {

@@ -36,7 +36,7 @@ type circuit = {
 }
 
 and event =
-  | Frame of circuit * Proto.header * Bytes.t
+  | Frame of circuit * Proto.Frame.t (* zero-copy view; header pre-validated *)
   | Circuit_up of circuit (* inbound circuit completed its handshake *)
   | Circuit_down of circuit * Errors.t
 
@@ -119,26 +119,50 @@ let hello_payload t =
       h_listen = List.map Phys_addr.to_string (my_listen_addrs t);
     }
 
+(* Common tail of the two send paths: metrics, span, hand the frame's byte
+   range to the STD-IF, surface failure as a broken circuit. *)
+let send_view (c : circuit) (h : Proto.header) buf ~off ~len =
+  Ntcs_util.Metrics.incr (metrics c.nd) "nd.frames_sent";
+  Ntcs_obs.Registry.observe (metrics c.nd) "nd.tx_bytes" len;
+  (* A span-carrying frame leaving this machine is one hop of its logical
+     send: an instant event, attributable via the header's ctx. *)
+  if not (Ntcs_obs.Span.is_none h.Proto.span) then
+    World.span (Node.world c.nd.node) ~ctx:h.Proto.span ~phase:Ntcs_obs.Span.I ~name:"nd.tx"
+      ~actor:c.nd.owner
+      (Printf.sprintf "kind=%s dst=%s" (Proto.kind_to_string h.Proto.kind)
+         (Addr.to_string h.Proto.dst));
+  match c.lvc.Std_if.send_sub buf ~off ~len with
+  | Ok () -> Ok ()
+  | Error e ->
+    c.c_open <- false;
+    trace c.nd ~cat:"nd.send_fail"
+      (Printf.sprintf "to %s: %s" (Addr.to_string c.peer_addr) (Ipcs_error.to_string e));
+    Error (Errors.of_ipcs e)
+
 let send_frame (c : circuit) (h : Proto.header) payload =
   if not c.c_open then Error Errors.Circuit_failed
   else begin
-    let frame = Proto.encode_frame h payload in
-    Ntcs_util.Metrics.incr (metrics c.nd) "nd.frames_sent";
-    Ntcs_obs.Registry.observe (metrics c.nd) "nd.tx_bytes" (Bytes.length frame);
-    (* A span-carrying frame leaving this machine is one hop of its logical
-       send: an instant event, attributable via the header's ctx. *)
-    if not (Ntcs_obs.Span.is_none h.Proto.span) then
-      World.span (Node.world c.nd.node) ~ctx:h.Proto.span ~phase:Ntcs_obs.Span.I
-        ~name:"nd.tx" ~actor:c.nd.owner
-        (Printf.sprintf "kind=%s dst=%s" (Proto.kind_to_string h.Proto.kind)
-           (Addr.to_string h.Proto.dst));
-    match c.lvc.Std_if.send_msg frame with
-    | Ok () -> Ok ()
-    | Error e ->
-      c.c_open <- false;
-      trace c.nd ~cat:"nd.send_fail"
-        (Printf.sprintf "to %s: %s" (Addr.to_string c.peer_addr) (Ipcs_error.to_string e));
-      Error (Errors.of_ipcs e)
+    (* Encode into a pooled buffer: one header blit + one payload blit is
+       the entire copy cost of a send; the buffer goes back as soon as the
+       STD-IF has consumed the range. *)
+    let pool = World.pool (Node.world c.nd.node) in
+    let flen = Proto.header_bytes + Bytes.length payload in
+    let buf = Ntcs_util.Pool.alloc pool flen in
+    let v = Proto.Frame.encode_into h ~payload buf ~off:0 in
+    Ntcs_obs.Registry.observe (metrics c.nd) "frame.bytes_copied" (Bytes.length payload);
+    let r = send_view c (Proto.Frame.header v) buf ~off:0 ~len:flen in
+    Ntcs_util.Pool.release pool buf;
+    r
+  end
+
+(* Forward a received frame as-is (headers already patched in place): no
+   encode, no copy — the view's byte range goes straight to the STD-IF. *)
+let forward_view (c : circuit) (v : Proto.Frame.t) =
+  if not c.c_open then Error Errors.Circuit_failed
+  else begin
+    Ntcs_obs.Registry.observe (metrics c.nd) "frame.bytes_copied" 0;
+    send_view c (Proto.Frame.header v) (Proto.Frame.buf v) ~off:(Proto.Frame.off v)
+      ~len:(Proto.Frame.len v)
   end
 
 (* Close locally without notifying upper layers (they asked for it). *)
@@ -185,11 +209,16 @@ let upgrade_peer (c : circuit) (real : Addr.t) =
 
 let handle_incoming (c : circuit) raw =
   let t = c.nd in
-  match Proto.decode_frame raw with
+  (* The received buffer becomes the view's backing store — no payload copy
+     here; the header decodes once and is memoised in the view. *)
+  match
+    let v = Proto.Frame.of_bytes raw in
+    (v, Proto.Frame.header v)
+  with
   | exception (Proto.Bad_header m | Shift.Shift_error m) ->
     Ntcs_util.Metrics.incr (metrics t) "nd.bad_frames";
     trace t ~cat:"nd.bad_frame" m
-  | h, payload ->
+  | v, h ->
     Ntcs_util.Metrics.incr (metrics t) "nd.frames_recv";
     Ntcs_obs.Registry.observe (metrics t) "nd.rx_bytes" (Bytes.length raw);
     if not (Ntcs_obs.Span.is_none h.Proto.span) then
@@ -201,7 +230,7 @@ let handle_incoming (c : circuit) raw =
        source is the remote origin, not the gateway this circuit goes to —
        re-keying on it would steal the gateway's table entry. *)
     if h.Proto.ivc = 0 && Addr.is_unique h.Proto.src then upgrade_peer c h.Proto.src;
-    Sched.Mailbox.send t.inbox (Frame (c, h, payload))
+    Sched.Mailbox.send t.inbox (Frame (c, v))
 
 let reader_loop (c : circuit) =
   let t = c.nd in

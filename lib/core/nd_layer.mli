@@ -35,7 +35,9 @@ type circuit = {
 }
 
 and event =
-  | Frame of circuit * Proto.header * Bytes.t
+  | Frame of circuit * Proto.Frame.t
+      (** a received frame as a zero-copy view over the receive buffer;
+          the header is already decoded and memoised *)
   | Circuit_up of circuit  (** inbound circuit completed its handshake *)
   | Circuit_down of circuit * Errors.t
 
@@ -111,7 +113,13 @@ val close_circuit : circuit -> unit
 (** Local close, no upward notification (the caller asked for it). *)
 
 val send_frame : circuit -> Proto.header -> Bytes.t -> (unit, Errors.t) result
-(** Frame and transmit. A failure marks the circuit broken. *)
+(** Frame and transmit: one header blit + one payload blit into a pooled
+    buffer, released once the STD-IF has consumed it. A failure marks the
+    circuit broken. *)
+
+val forward_view : circuit -> Proto.Frame.t -> (unit, Errors.t) result
+(** Transmit a received frame as-is (headers already patched in place):
+    no re-encode, no payload copy. A failure marks the circuit broken. *)
 
 val next_event : ?timeout_us:int -> t -> event option
 (** Pull the next demultiplexed event (the LCM dispatcher's loop). *)

@@ -104,29 +104,35 @@ let make_header ~kind ~src ~dst ?(mode = Convert.Packed) ?(src_order = Endian.Be
    w5: mode(4) | src_order(4) | hops(8) | flags(16, reserved)
    w6: seq   w7: conv   w8: app_tag   w9: ivc   w10: payload_len
    w11: span circuit id   w12: span per-circuit sequence id *)
-let encode_header h =
+let header_to_words h =
+  if h.hops < 0 || h.hops > 255 then
+    raise
+      (Bad_header
+         (Printf.sprintf "hop count %d outside the 8-bit field (loop-detection E7 must not wrap)"
+            h.hops));
   let src = Addr.to_words h.src and dst = Addr.to_words h.dst in
   let w0 = Shift.pack_bits [ (magic, 16); (version, 8); (kind_to_int h.kind, 8) ] in
   let w5 =
     Shift.pack_bits
-      [ (Convert.mode_to_int h.mode, 4); (order_to_int h.src_order, 4); (h.hops land 0xFF, 8);
-        (0, 16) ]
+      [ (Convert.mode_to_int h.mode, 4); (order_to_int h.src_order, 4); (h.hops, 8); (0, 16) ]
   in
-  Shift.encode_words
-    [| w0; src.(0); src.(1); dst.(0); dst.(1); w5; h.seq; h.conv; h.app_tag; h.ivc;
-       h.payload_len; h.span.Ntcs_obs.Span.sp_circuit; h.span.Ntcs_obs.Span.sp_seq |]
+  [| w0; src.(0); src.(1); dst.(0); dst.(1); w5; h.seq; h.conv; h.app_tag; h.ivc;
+     h.payload_len; h.span.Ntcs_obs.Span.sp_circuit; h.span.Ntcs_obs.Span.sp_seq |]
 
-let decode_header data =
-  if Bytes.length data < header_bytes then raise (Bad_header "short header");
-  let w = Shift.decode_words data ~off:0 ~count:header_words in
-  (match Shift.unpack_bits w.(0) [ 16; 8; 8 ] with
-   | [ m; v; _ ] ->
-     if m <> magic then raise (Bad_header "bad magic");
-     if v <> version then raise (Bad_header (Printf.sprintf "unsupported version %d" v))
-   | _ -> assert false);
+let encode_header h = Shift.encode_words (header_to_words h)
+
+let blit_header h buf off =
+  Array.iteri (fun i w -> Shift.poke_word buf (off + (4 * i)) w) (header_to_words h)
+
+let decode_header_at data off =
+  if off < 0 || Bytes.length data - off < header_bytes then raise (Bad_header "short header");
+  let w = Shift.decode_words data ~off ~count:header_words in
   let kind =
     match Shift.unpack_bits w.(0) [ 16; 8; 8 ] with
-    | [ _; _; k ] -> kind_of_int k
+    | [ m; v; k ] ->
+      if m <> magic then raise (Bad_header "bad magic");
+      if v <> version then raise (Bad_header (Printf.sprintf "unsupported version %d" v));
+      kind_of_int k
     | _ -> assert false
   in
   let mode, src_order, hops =
@@ -154,6 +160,8 @@ let decode_header data =
     span = Ntcs_obs.Span.make ~circuit:w.(11) ~seq:w.(12);
   }
 
+let decode_header data = decode_header_at data 0
+
 (* A full frame: shift-mode header followed by the (already converted)
    payload bytes. *)
 let encode_frame h payload =
@@ -168,6 +176,103 @@ let decode_frame data =
          (Printf.sprintf "frame length %d does not match header payload_len %d"
             (Bytes.length data) h.payload_len));
   (h, Bytes.sub data header_bytes h.payload_len)
+
+(* --- zero-copy frame views ---
+
+   A [view] is a window onto an existing buffer holding one complete frame.
+   The header is decoded lazily and memoised; the payload is never
+   materialised unless a consumer explicitly asks for bytes. Gateways
+   forward a view by patching the affected shift-mode header words in
+   place — legitimate exactly because shift-mode layout is
+   machine-independent (§5.2), so a patched word is byte-identical to what
+   a full re-encode would have produced. *)
+module Frame = struct
+  type t = {
+    buf : Bytes.t;
+    off : int;
+    len : int;
+    mutable hdr : header option; (* memoised decode; kept in sync by patches *)
+  }
+
+  let of_bytes ?(off = 0) ?len buf =
+    let len = match len with Some l -> l | None -> Bytes.length buf - off in
+    if off < 0 || len < header_bytes || off + len > Bytes.length buf then
+      raise
+        (Bad_header
+           (Printf.sprintf "view [%d,+%d) does not hold a frame in %d bytes" off len
+              (Bytes.length buf)))
+    else { buf; off; len; hdr = None }
+
+  let header v =
+    match v.hdr with
+    | Some h -> h
+    | None ->
+      let h = decode_header_at v.buf v.off in
+      if v.len <> header_bytes + h.payload_len then
+        raise
+          (Bad_header
+             (Printf.sprintf "view length %d does not match header payload_len %d" v.len
+                h.payload_len));
+      v.hdr <- Some h;
+      h
+
+  let buf v = v.buf
+  let off v = v.off
+  let len v = v.len
+  let payload_off v = v.off + header_bytes
+  let payload_len v = v.len - header_bytes
+
+  (* Copies: each materialisation is deliberate — call sites account for it
+     in the frame.bytes_copied histogram. *)
+  let payload_bytes v = Bytes.sub v.buf (payload_off v) (payload_len v)
+
+  let to_bytes v =
+    if v.off = 0 && v.len = Bytes.length v.buf then v.buf else Bytes.sub v.buf v.off v.len
+
+  (* Build a frame into a caller-supplied (typically pooled) buffer: one
+     header blit plus one payload blit — the only copy on the send path. *)
+  let encode_into h ~payload buf ~off =
+    let plen = Bytes.length payload in
+    let h = { h with payload_len = plen } in
+    let len = header_bytes + plen in
+    if off < 0 || off + len > Bytes.length buf then
+      raise
+        (Bad_header
+           (Printf.sprintf "frame of %d bytes does not fit at offset %d of %d-byte buffer" len
+              off (Bytes.length buf)));
+    blit_header h buf off;
+    Bytes.blit payload 0 buf (off + header_bytes) plen;
+    { buf; off; len; hdr = Some h }
+
+  let of_parts h payload =
+    let plen = Bytes.length payload in
+    encode_into h ~payload (Bytes.create (header_bytes + plen)) ~off:0
+
+  (* --- in-place header patches (word offsets per the layout above) --- *)
+
+  let word_off v i = v.off + (4 * i)
+
+  let patch_ivc v ivc =
+    Shift.poke_word v.buf (word_off v 9) ivc;
+    match v.hdr with Some h -> v.hdr <- Some { h with ivc } | None -> ()
+
+  let patch_hops v hops =
+    if hops < 0 || hops > 255 then
+      raise (Bad_header (Printf.sprintf "hop count %d outside the 8-bit field" hops));
+    let w5 = Shift.get_word v.buf (word_off v 5) in
+    match Shift.unpack_bits w5 [ 4; 4; 8; 16 ] with
+    | [ m; o; _; fl ] ->
+      Shift.poke_word v.buf (word_off v 5)
+        (Shift.pack_bits [ (m, 4); (o, 4); (hops, 8); (fl, 16) ]);
+      (match v.hdr with Some h -> v.hdr <- Some { h with hops } | None -> ())
+    | _ -> assert false
+
+  let patch_dst v dst =
+    let w = Addr.to_words dst in
+    Shift.poke_word v.buf (word_off v 3) w.(0);
+    Shift.poke_word v.buf (word_off v 4) w.(1);
+    match v.hdr with Some h -> v.hdr <- Some { h with dst } | None -> ()
+end
 
 (* --- control payload codecs (packed mode, per §5.2) --- *)
 

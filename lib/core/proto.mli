@@ -75,6 +75,8 @@ val make_header :
   header
 
 val encode_header : header -> Bytes.t
+(** Raises {!Bad_header} when [hops] is outside 0–255: the 8-bit hop field
+    backs loop detection (E7), so a silently wrapped count would defeat it. *)
 
 val decode_header : Bytes.t -> header
 (** Raises {!Bad_header} on bad magic/version/shape. *)
@@ -84,6 +86,63 @@ val encode_frame : header -> Bytes.t -> Bytes.t
 
 val decode_frame : Bytes.t -> header * Bytes.t
 (** Raises {!Bad_header} when the byte count disagrees with the header. *)
+
+(** {1 Zero-copy frame views}
+
+    A {!Frame.t} is a window onto an existing buffer holding one complete
+    frame: the header decodes lazily (and is memoised), the payload is only
+    materialised on explicit request, and gateways forward by patching the
+    affected shift-mode header words in place. Patching is byte-identical
+    to a full re-encode because shift-mode layout is machine-independent
+    (§5.2). *)
+module Frame : sig
+  type t
+
+  val of_bytes : ?off:int -> ?len:int -> Bytes.t -> t
+  (** View over [len] bytes (default: to the end of the buffer) starting at
+      [off] (default 0). Only bounds are checked here; the header decodes on
+      first {!header} call. Raises {!Bad_header} when the window cannot hold
+      a frame. *)
+
+  val header : t -> header
+  (** Decode (once) and memoise. Raises {!Bad_header} when magic/version/
+      payload_len disagree with the window. *)
+
+  val buf : t -> Bytes.t
+  val off : t -> int
+  val len : t -> int
+
+  val payload_off : t -> int
+  val payload_len : t -> int
+  (** Offset/length of the payload within [buf t] — for consumers that can
+      read in place instead of copying. *)
+
+  val payload_bytes : t -> Bytes.t
+  (** Materialise the payload (one copy). Call sites account for it in the
+      [frame.bytes_copied] histogram. *)
+
+  val to_bytes : t -> Bytes.t
+  (** The full frame. Returns the underlying buffer without copying when
+      the view spans it exactly. *)
+
+  val encode_into : header -> payload:Bytes.t -> Bytes.t -> off:int -> t
+  (** Encode a frame into a caller-supplied (typically pooled) buffer: one
+      header blit plus one payload blit. [payload_len] is fixed up. Raises
+      {!Bad_header} when the frame does not fit. *)
+
+  val of_parts : header -> Bytes.t -> t
+  (** [encode_into] with a fresh exactly-sized buffer. *)
+
+  val patch_ivc : t -> int -> unit
+  (** Rewrite the leg label (word 9) in place. *)
+
+  val patch_hops : t -> int -> unit
+  (** Rewrite the hop count (word 5 bits) in place. Raises {!Bad_header}
+      outside 0–255. *)
+
+  val patch_dst : t -> Addr.t -> unit
+  (** Rewrite the destination address (words 3–4) in place. *)
+end
 
 (** {1 Control payload codecs (packed mode, §5.2)} *)
 

@@ -21,6 +21,7 @@ type lvc = {
   lvc_id : int;
   kind : Phys_addr.kind;
   send_msg : Bytes.t -> (unit, Ipcs_error.t) result;
+  send_sub : Bytes.t -> off:int -> len:int -> (unit, Ipcs_error.t) result;
   recv_msg : ?timeout_us:int -> unit -> (Bytes.t, Ipcs_error.t) result;
   close : unit -> unit;
   abort : unit -> unit;
@@ -32,26 +33,63 @@ type lvc = {
 let frame_word_bytes = 4
 
 let of_tcp (conn : Ipcs_tcp.conn) =
-  (* Reassembly state persists across recv_msg calls. *)
-  let pending = Buffer.create 4096 in
-  let send_msg data =
-    let len = Bytes.length data in
-    let buf = Buffer.create (len + frame_word_bytes) in
-    Ntcs_wire.Shift.put_word buf len;
-    Buffer.add_bytes buf data;
-    Ipcs_tcp.send conn (Buffer.to_bytes buf)
+  let pool = Ntcs_sim.World.pool (Ipcs_tcp.conn_world conn) in
+  (* Framing borrows a pooled buffer for the length word + body; the TCP
+     stack copies before [send] returns, so it goes straight back. *)
+  let send_sub data ~off ~len =
+    let framed = len + frame_word_bytes in
+    let fb = Ntcs_util.Pool.alloc pool framed in
+    Ntcs_wire.Shift.poke_word fb 0 len;
+    Bytes.blit data off fb frame_word_bytes len;
+    let r = Ipcs_tcp.send ~off:0 ~len:framed conn fb in
+    Ntcs_util.Pool.release pool fb;
+    r
+  in
+  let send_msg data = send_sub data ~off:0 ~len:(Bytes.length data) in
+  (* Reassembly state persists across recv_msg calls: a flat buffer with
+     head/tail cursors, so extracting a message consumes the prefix without
+     re-copying everything still pending (the old Buffer-based reassembly
+     re-materialised the whole backlog on every message). *)
+  let rbuf = ref (Bytes.create 4096) in
+  let head = ref 0 in
+  let tail = ref 0 in
+  let append chunk =
+    let n = Bytes.length chunk in
+    let used = !tail - !head in
+    if Bytes.length !rbuf - !tail < n then begin
+      (* Slide the live region down; grow only if that is not enough. *)
+      if !head > 0 then begin
+        Bytes.blit !rbuf !head !rbuf 0 used;
+        head := 0;
+        tail := used
+      end;
+      if Bytes.length !rbuf - !tail < n then begin
+        let cap = ref (2 * Bytes.length !rbuf) in
+        while !cap - !tail < n do
+          cap := 2 * !cap
+        done;
+        let nb = Bytes.create !cap in
+        Bytes.blit !rbuf 0 nb 0 !tail;
+        rbuf := nb
+      end
+    end;
+    Bytes.blit chunk 0 !rbuf !tail n;
+    tail := !tail + n
   in
   let rec recv_msg ?timeout_us () =
-    let have = Buffer.length pending in
+    let have = !tail - !head in
     if have >= frame_word_bytes then begin
-      let head = Buffer.to_bytes pending in
-      let need = Ntcs_wire.Shift.get_word head 0 in
+      let need = Ntcs_wire.Shift.get_word !rbuf !head in
       if have >= frame_word_bytes + need then begin
-        let msg = Bytes.sub head frame_word_bytes need in
-        let rest_len = have - frame_word_bytes - need in
-        let rest = Bytes.sub head (frame_word_bytes + need) rest_len in
-        Buffer.clear pending;
-        Buffer.add_bytes pending rest;
+        (* The one copy on the receive path: the message leaves the cursor
+           buffer and becomes the frame view's backing store upstairs. *)
+        (* lint: allow copies(Bytes.sub) — ownership hand-off out of the reused reassembly buffer *)
+        let msg = Bytes.sub !rbuf (!head + frame_word_bytes) need in
+        head := !head + frame_word_bytes + need;
+        if !head = !tail then begin
+          head := 0;
+          tail := 0
+        end;
         Ok msg
       end
       else fill ?timeout_us ()
@@ -60,7 +98,7 @@ let of_tcp (conn : Ipcs_tcp.conn) =
   and fill ?timeout_us () =
     match Ipcs_tcp.recv ?timeout_us conn with
     | Ok chunk ->
-      Buffer.add_bytes pending chunk;
+      append chunk;
       recv_msg ?timeout_us ()
     | Error _ as e -> e
   in
@@ -68,6 +106,7 @@ let of_tcp (conn : Ipcs_tcp.conn) =
     lvc_id = Ipcs_tcp.conn_id conn;
     kind = Phys_addr.K_tcp;
     send_msg;
+    send_sub;
     recv_msg;
     close = (fun () -> Ipcs_tcp.close conn);
     abort = (fun () -> Ipcs_tcp.abort conn);
@@ -87,8 +126,7 @@ let of_mbx (chan : Ipcs_mbx.chan) =
   let next_frame = ref 1 in
   (* frame id -> (count, received so far, fragments in order) *)
   let partial : (int, int * Bytes.t option array) Hashtbl.t = Hashtbl.create 4 in
-  let send_msg data =
-    let total = Bytes.length data in
+  let send_sub data ~off:base ~len:total =
     let count = max 1 ((total + mbx_frag_payload - 1) / mbx_frag_payload) in
     let frame_id = !next_frame in
     next_frame := frame_id + 1;
@@ -101,7 +139,7 @@ let of_mbx (chan : Ipcs_mbx.chan) =
         Ntcs_wire.Shift.put_word buf frame_id;
         Ntcs_wire.Shift.put_word buf idx;
         Ntcs_wire.Shift.put_word buf count;
-        Buffer.add_bytes buf (Bytes.sub data off len);
+        Buffer.add_subbytes buf data (base + off) len;
         (* A single-fragment message is one whole ND frame on the ring: the
            fault plane may drop/duplicate/reorder it. Fragments of a larger
            frame must arrive whole and in order, so they are never marked. *)
@@ -116,6 +154,7 @@ let of_mbx (chan : Ipcs_mbx.chan) =
     in
     go 0
   in
+  let send_msg data = send_sub data ~off:0 ~len:(Bytes.length data) in
   let rec recv_msg ?timeout_us () =
     match Ipcs_mbx.recv ?timeout_us chan with
     | Error _ as e -> e
@@ -125,6 +164,7 @@ let of_mbx (chan : Ipcs_mbx.chan) =
         let frame_id = Ntcs_wire.Shift.get_word frag 0 in
         let idx = Ntcs_wire.Shift.get_word frag 4 in
         let count = Ntcs_wire.Shift.get_word frag 8 in
+        (* lint: allow copies(Bytes.sub) — strip the fragment header off the MBX message *)
         let body = Bytes.sub frag mbx_frag_header (Bytes.length frag - mbx_frag_header) in
         if count = 1 then Ok body
         else begin
@@ -154,6 +194,7 @@ let of_mbx (chan : Ipcs_mbx.chan) =
     lvc_id = Ipcs_mbx.chan_id chan;
     kind = Phys_addr.K_mbx;
     send_msg;
+    send_sub;
     recv_msg;
     close = (fun () -> Ipcs_mbx.close chan);
     abort = (fun () -> Ipcs_mbx.abort chan);

@@ -17,6 +17,10 @@ type lvc = {
   lvc_id : int;
   kind : Phys_addr.kind;
   send_msg : Bytes.t -> (unit, Ipcs_error.t) result;
+  send_sub : Bytes.t -> off:int -> len:int -> (unit, Ipcs_error.t) result;
+      (** Send [data[off, off+len)] as one message without the caller
+          first materialising the slice — the zero-copy path for pooled
+          frame buffers. The slice is consumed before the call returns. *)
   recv_msg : ?timeout_us:int -> unit -> (Bytes.t, Ipcs_error.t) result;
   close : unit -> unit;
   abort : unit -> unit;

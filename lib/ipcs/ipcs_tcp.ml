@@ -32,7 +32,10 @@ and listener = {
 
 and endpoint = {
   ep_machine : Machine.t;
-  chunks : Bytes.t Queue.t;
+  (* In-flight bytes that have arrived: (buffer, valid length, pooled).
+     Pooled buffers are class-sized — larger than their payload — and go
+     back to the world's pool when the receiver drains them. *)
+  chunks : (Bytes.t * int * bool) Queue.t;
   signal : unit Sched.Mailbox.mb; (* pulsed on arrival / close *)
   arrival_fifo : int ref; (* enforces in-order delivery toward this end *)
   mutable ep_open : bool; (* our side still open *)
@@ -181,15 +184,15 @@ let accept ?timeout_us (l : listener) =
 let is_open (c : conn) = c.near.ep_open && not c.near.broken
 
 (* Deliver one segment's payload into [ep]. *)
-let deliver_segment ep payload =
-  Queue.push payload ep.chunks;
+let deliver_segment ep payload len pooled =
+  Queue.push (payload, len, pooled) ep.chunks;
   Sched.Mailbox.send ep.signal ()
 
-let send (c : conn) (data : Bytes.t) =
+let send ?(off = 0) ?len (c : conn) (data : Bytes.t) =
   if not c.near.ep_open then Error Ipcs_error.Closed
   else if c.near.broken then Error Ipcs_error.Closed
   else begin
-    let total = Bytes.length data in
+    let total = match len with Some l -> l | None -> Bytes.length data - off in
     (* A write that fits one segment is one whole framed ND message on the
        wire (the STD-IF sends exactly one message per write): the fault
        plane may drop/duplicate/reorder it without desynchronising the
@@ -197,17 +200,34 @@ let send (c : conn) (data : Bytes.t) =
        this simulated TCP has no retransmission, so losing one would corrupt
        the stream rather than model any real failure. *)
     let droppable = total <= mss in
-    let rec push_segments off ok =
-      if (not ok) || off >= total then ok
+    let pool = World.pool c.stack.world in
+    let rec push_segments pos ok =
+      if (not ok) || pos >= total then ok
       else begin
-        let len = min mss (total - off) in
-        let seg = Bytes.sub data off len in
+        let len = min mss (total - pos) in
+        (* The in-flight copy decouples the caller's buffer (released and
+           reused as soon as [send] returns) from delivery. Non-droppable
+           segments are delivered at most once, so they can borrow from the
+           pool and go back when drained. Droppable segments cannot: the
+           fault plane's duplicate rule schedules the same delivery twice,
+           so the buffer's lifetime is unbounded — they stay plain
+           exact-size allocations. *)
+        let pooled = not droppable in
+        let seg =
+          if pooled then begin
+            let b = Ntcs_util.Pool.alloc pool len in
+            Bytes.blit data (off + pos) b 0 len;
+            b
+          end
+          else Bytes.sub data (off + pos) len
+        in
         let sent =
           World.transmit ~fifo:c.far.arrival_fifo ~droppable c.stack.world ~net:c.net
             ~src:c.near.ep_machine ~dst:c.far.ep_machine ~size:(len + 40) (fun () ->
-              if c.far.ep_open then deliver_segment c.far seg)
+              if c.far.ep_open then deliver_segment c.far seg len pooled
+              else if pooled then Ntcs_util.Pool.release pool seg)
         in
-        push_segments (off + len) sent
+        push_segments (pos + len) sent
       end
     in
     if total = 0 then Ok ()
@@ -221,13 +241,17 @@ let send (c : conn) (data : Bytes.t) =
     end
   end
 
-(* Drain everything that has arrived, coalescing chunks — read(2) semantics. *)
-let take_available ep =
+(* Drain everything that has arrived, coalescing chunks — read(2) semantics.
+   Pooled in-flight buffers go back to the freelist here, once their bytes
+   are out. *)
+let take_available pool ep =
   if Queue.is_empty ep.chunks then None
   else begin
     let buf = Buffer.create 1024 in
     while not (Queue.is_empty ep.chunks) do
-      Buffer.add_bytes buf (Queue.pop ep.chunks)
+      let b, len, pooled = Queue.pop ep.chunks in
+      Buffer.add_subbytes buf b 0 len;
+      if pooled then Ntcs_util.Pool.release pool b
     done;
     Some (Buffer.to_bytes buf)
   end
@@ -236,7 +260,7 @@ let recv ?timeout_us (c : conn) =
   let sched = World.sched c.stack.world in
   let deadline = Option.map (fun d -> Sched.now sched + d) timeout_us in
   let rec loop () =
-    match take_available c.near with
+    match take_available (World.pool c.stack.world) c.near with
     | Some data -> Ok data
     | None ->
       if c.near.broken then Error Ipcs_error.Closed
@@ -283,3 +307,4 @@ let abort (c : conn) =
 
 let remote_addr (c : conn) = c.remote
 let conn_id (c : conn) = c.conn_id
+let conn_world (c : conn) = c.stack.world

@@ -40,9 +40,12 @@ val connect :
 
 val accept : ?timeout_us:int -> listener -> (conn, Ipcs_error.t) result
 
-val send : conn -> Bytes.t -> (unit, Ipcs_error.t) result
-(** Stream write: segmented at {!mss}; in-order delivery per direction. A
-    refused wire (partition / peer machine down) breaks the connection. *)
+val send : ?off:int -> ?len:int -> conn -> Bytes.t -> (unit, Ipcs_error.t) result
+(** Stream write of [data[off, off+len)] (default: the whole buffer):
+    segmented at {!mss}; in-order delivery per direction. The bytes are
+    copied before [send] returns, so the caller may reuse (or release) the
+    buffer immediately. A refused wire (partition / peer machine down)
+    breaks the connection. *)
 
 val recv : ?timeout_us:int -> conn -> (Bytes.t, Ipcs_error.t) result
 (** [read(2)] semantics: everything available, coalesced; blocks when
@@ -57,3 +60,7 @@ val abort : conn -> unit
 val is_open : conn -> bool
 val remote_addr : conn -> Phys_addr.t
 val conn_id : conn -> int
+
+val conn_world : conn -> World.t
+(** The world this connection lives in — the STD-IF borrows its buffer
+    pool for framing. *)

@@ -24,7 +24,7 @@ let check_source src =
   let _, malformed = Lint_lex.pragmas src in
   Lint_diag.sort
     (malformed @ Lint_layering.check src @ Lint_determinism.check src
-    @ Lint_categories.check src)
+    @ Lint_copies.check src @ Lint_categories.check src)
 
 let lint_file file = check_source (Lint_lex.load file)
 

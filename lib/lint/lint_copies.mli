@@ -1,0 +1,8 @@
+(** R5: copy discipline — no [Bytes.cat]/[Bytes.sub]/[Bytes.copy] on frame
+    paths in lib/core outside [Proto]; the pipeline moves payloads as
+    {!Proto.Frame} views and pooled buffers. Suppress with
+    [lint: allow copies(<call>) — reason]. *)
+
+val rule : string
+
+val check : Lint_lex.source -> Lint_diag.t list

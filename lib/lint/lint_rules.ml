@@ -99,6 +99,18 @@ let may_sleep path =
 
 let sleep_calls = [ "Sched.sleep" ]
 
+(* R5: copy discipline. The zero-copy frame pipeline keeps payload bytes in
+   place from receive through forward to send; a stray Bytes.cat/sub/copy in
+   lib/core is a hot-path copy creeping back in. Proto owns the sanctioned
+   materialisation points (Frame.payload_bytes, to_bytes, the legacy
+   encode/decode pair) and the pool lives outside lib/core; everything else
+   must either stay on views or carry a pragma naming its reason. *)
+let copy_calls = [ "Bytes.cat"; "Bytes.sub"; "Bytes.copy" ]
+
+let may_copy_frames path =
+  let p = norm path in
+  (not (has_sub ~sub:"lib/core/" p)) || String.equal (module_of_file p) "Proto"
+
 type det_rule = {
   d_pat : string;  (** dotted path to match, word-bounded *)
   d_why : string;

@@ -33,6 +33,13 @@ val may_sleep : string -> bool
 
 val sleep_calls : string list
 
+val may_copy_frames : string -> bool
+(** May this file call [Bytes.cat]/[Bytes.sub]/[Bytes.copy]? False inside
+    lib/core — the frame pipeline is zero-copy — except for [Proto], which
+    owns the sanctioned materialisation points. *)
+
+val copy_calls : string list
+
 type det_rule = { d_pat : string; d_why : string; d_everywhere : bool }
 
 val det_rules : det_rule list

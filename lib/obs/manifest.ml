@@ -46,6 +46,7 @@ let all =
     ("gw.addr", "gateway resolved a cross-net address");
     ("gw.up", "gateway serving a net");
     ("gw.dup_open", "gateway suppressed a duplicate open");
+    ("gw.hop_overflow", "gateway dropped a frame whose hop count filled the 8-bit field (E7)");
     ("gw.register_fail", "gateway failed to register with the NS");
     (* Name server. *)
     ("ns.register", "name server registered a binding");

@@ -8,6 +8,7 @@ type t = {
   metrics : Ntcs_util.Metrics.t;
   trace : Trace.t;
   rng : Ntcs_util.Rng.t;
+  pool : Ntcs_util.Pool.t; (* frame-buffer freelist shared by the world's stacks *)
   machines : (Machine.id, Machine.t) Hashtbl.t;
   nets : (Net.id, Net.t) Hashtbl.t;
   attachments : (Machine.id * Net.id, unit) Hashtbl.t;
@@ -19,11 +20,13 @@ type t = {
 }
 
 let create ?(seed = 42) () =
+  let metrics = Ntcs_util.Metrics.create () in
   {
     sched = Sched.create ();
-    metrics = Ntcs_util.Metrics.create ();
+    metrics;
     trace = Trace.create ();
     rng = Ntcs_util.Rng.create seed;
+    pool = Ntcs_util.Pool.create ~registry:metrics ();
     machines = Hashtbl.create 16;
     nets = Hashtbl.create 8;
     attachments = Hashtbl.create 32;
@@ -38,6 +41,7 @@ let sched t = t.sched
 let metrics t = t.metrics
 let trace t = t.trace
 let rng t = t.rng
+let pool t = t.pool
 let now t = Sched.now t.sched
 
 (* The metrics registry *is* the observability registry (the Metrics type

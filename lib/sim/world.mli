@@ -16,6 +16,10 @@ val trace : t -> Trace.t
 val rng : t -> Ntcs_util.Rng.t
 val now : t -> int
 
+val pool : t -> Ntcs_util.Pool.t
+(** The world's frame-buffer freelist. Shared by every stack in the world;
+    hit/miss/in-use statistics land in {!metrics} under [pool.*]. *)
+
 val obs : t -> Ntcs_obs.Registry.t
 (** The world's observability registry — the same value as {!metrics}
     ([Metrics.t = Ntcs_obs.Registry.t]), under its full interface:

@@ -6,6 +6,7 @@ module Bqueue = Bqueue
 module Heap = Heap
 module Lru = Lru
 module Metrics = Metrics
+module Pool = Pool
 module Rng = Rng
 module Stats = Stats
 module Tbl = Tbl

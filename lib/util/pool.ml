@@ -1,0 +1,87 @@
+(* Size-classed buffer pool for the frame hot path.
+
+   The pipeline's steady state allocates one buffer per send (header blit +
+   payload blit) and frees it as soon as the transport has taken its copy —
+   an allocation profile a freelist amortises perfectly. Buffers come in
+   power-of-two size classes; a request is served from the smallest class
+   that fits (callers carry an explicit length, so an oversized buffer is
+   harmless). Requests beyond the largest class are plain allocations —
+   caching jumbo buffers would just pin memory.
+
+   Ownership discipline: [alloc] transfers the buffer to the caller;
+   [release] returns it and the caller must not touch it afterwards. A
+   buffer that escapes (never released) is a leak the high-water gauge will
+   show, not a correctness problem — the pool never hands out a buffer it
+   has not been given back.
+
+   Statistics land in the world's registry so they export with everything
+   else: pool.hits / pool.misses / pool.unpooled counters, pool.in_use and
+   pool.high_water gauges. *)
+
+type t = {
+  classes : Bytes.t list ref array; (* freelist per size class *)
+  registry : Ntcs_obs.Registry.t option;
+  mutable in_use : int; (* buffers handed out and not yet released *)
+  mutable high_water : int;
+}
+
+(* Classes: 64 B .. 64 KiB in powers of two — 11 freelists. *)
+let min_shift = 6
+let max_shift = 16
+let num_classes = max_shift - min_shift + 1
+let max_pooled = 1 lsl max_shift
+
+(* Smallest class index whose size covers [n]. *)
+let class_of n =
+  let rec go shift = if 1 lsl shift >= n then shift - min_shift else go (shift + 1) in
+  if n <= 1 lsl min_shift then 0 else go (min_shift + 1)
+
+let create ?registry () =
+  { classes = Array.init num_classes (fun _ -> ref []); registry; in_use = 0; high_water = 0 }
+
+let count t name = match t.registry with None -> () | Some r -> Ntcs_obs.Registry.incr r name
+
+let note_out t =
+  t.in_use <- t.in_use + 1;
+  if t.in_use > t.high_water then t.high_water <- t.in_use;
+  match t.registry with
+  | None -> ()
+  | Some r ->
+    Ntcs_obs.Registry.set_gauge r "pool.in_use" (float_of_int t.in_use);
+    Ntcs_obs.Registry.set_gauge r "pool.high_water" (float_of_int t.high_water)
+
+let note_in t =
+  t.in_use <- t.in_use - 1;
+  match t.registry with
+  | None -> ()
+  | Some r -> Ntcs_obs.Registry.set_gauge r "pool.in_use" (float_of_int t.in_use)
+
+let alloc t n =
+  if n > max_pooled then begin
+    count t "pool.unpooled";
+    Bytes.create n
+  end
+  else begin
+    let cls = t.classes.(class_of n) in
+    note_out t;
+    match !cls with
+    | b :: rest ->
+      cls := rest;
+      count t "pool.hits";
+      b
+    | [] ->
+      count t "pool.misses";
+      Bytes.create (1 lsl (class_of n + min_shift))
+  end
+
+let release t b =
+  let n = Bytes.length b in
+  (* Only exact class sizes come back; anything else was never pooled. *)
+  if n <= max_pooled && n land (n - 1) = 0 && n >= 1 lsl min_shift then begin
+    let cls = t.classes.(class_of n) in
+    cls := b :: !cls;
+    note_in t
+  end
+
+let in_use t = t.in_use
+let high_water t = t.high_water

@@ -1,0 +1,31 @@
+(** Size-classed buffer pool (freelist) for the frame hot path.
+
+    Buffers come in power-of-two classes from 64 B to 64 KiB; a request is
+    served from the smallest class that fits, so callers must carry an
+    explicit length — the buffer may be bigger than asked for. Larger
+    requests fall through to plain allocation.
+
+    Ownership: {!alloc} transfers the buffer to the caller; {!release}
+    returns it, after which the caller must not touch it. A never-released
+    buffer is a leak (visible in the high-water gauge), not a correctness
+    problem.
+
+    When created with a registry, the pool keeps [pool.hits] /
+    [pool.misses] / [pool.unpooled] counters and [pool.in_use] /
+    [pool.high_water] gauges up to date there. *)
+
+type t
+
+val create : ?registry:Ntcs_obs.Registry.t -> unit -> t
+
+val alloc : t -> int -> Bytes.t
+(** A buffer of at least the requested size (exactly the class size).
+    Contents are unspecified — reused buffers keep stale bytes. *)
+
+val release : t -> Bytes.t -> unit
+(** Return a buffer to its class. Buffers that did not come from {!alloc}
+    (wrong size) are ignored. Releasing the same buffer twice is a caller
+    bug the pool cannot detect — don't. *)
+
+val in_use : t -> int
+val high_water : t -> int

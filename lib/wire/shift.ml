@@ -23,6 +23,21 @@ let put_word buf v =
   Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
   Buffer.add_char buf (Char.chr (v land 0xFF))
 
+(* In-place variant: overwrite one word inside an existing frame buffer.
+   This is what makes shift-mode headers patchable without re-encoding —
+   the byte layout is machine-independent, so rewriting word [i] of a
+   received frame is exactly the write the original sender would have
+   produced. *)
+let poke_word data off v =
+  check_word v;
+  if off < 0 || off + 4 > Bytes.length data then
+    raise (Shift_error (Printf.sprintf "poke at offset %d outside %d-byte buffer" off
+                          (Bytes.length data)));
+  Bytes.set data off (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set data (off + 1) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set data (off + 2) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set data (off + 3) (Char.chr (v land 0xFF))
+
 let get_word data off =
   if off + 4 > Bytes.length data then raise (Shift_error "truncated word");
   let b i = Char.code (Bytes.get data (off + i)) in

@@ -15,6 +15,13 @@ val put_word : Buffer.t -> int -> unit
 val get_word : Bytes.t -> int -> int
 (** Read one word at a byte offset. Raises {!Shift_error} when truncated. *)
 
+val poke_word : Bytes.t -> int -> int -> unit
+(** [poke_word data off v] overwrites the word at byte offset [off] in
+    place, most significant byte first. Because shift-mode byte layout is
+    machine-independent (§5.2), patching a word of a received frame is
+    byte-identical to re-encoding it. Raises {!Shift_error} when the value
+    does not fit 32 bits or the offset is out of range. *)
+
 val encode_words : int array -> Bytes.t
 val decode_words : Bytes.t -> off:int -> count:int -> int array
 
