@@ -1140,22 +1140,44 @@ let hot_path ~smoke () =
   Printf.printf "\n  copy reduction per forwarded frame: %dx (%d B -> %d B)\n"
     (legacy_copied / max 1 view_copied) legacy_copied view_copied;
 
-  (* --- micro: the send path, fresh buffer vs pooled encode_into --- *)
+  (* --- micro: the send path, fresh buffer vs pooled encode_into, and the
+     pooled path again with the sanitizer armed (poison fill on release,
+     canary scan on re-alloc) — the price of running soaks sanitized. --- *)
   let h, payload, _ = hot_frame () in
   let pool = Ntcs_util.Pool.create () in
+  let spool = Ntcs_util.Pool.create () in
+  Ntcs_util.Pool.set_sanitize spool true;
   let fresh_send () = ignore (Proto.encode_frame h payload) in
-  let pooled_send () =
-    let buf = Ntcs_util.Pool.alloc pool (Proto.header_bytes + hot_payload_len) in
+  let send_via p () =
+    let buf = Ntcs_util.Pool.alloc p (Proto.header_bytes + hot_payload_len) in
     ignore (Proto.Frame.encode_into h ~payload buf ~off:0);
-    Ntcs_util.Pool.release pool buf
+    Ntcs_util.Pool.release p buf
   in
+  let pooled_send = send_via pool and sanitized_send = send_via spool in
+  let send_timings =
+    Bench_util.bechamel_run ~quota
+      [
+        Bechamel.Test.make ~name:"fresh" (Bechamel.Staged.stage fresh_send);
+        Bechamel.Test.make ~name:"pooled" (Bechamel.Staged.stage pooled_send);
+        Bechamel.Test.make ~name:"sanitized" (Bechamel.Staged.stage sanitized_send);
+      ]
+  in
+  let send_ns name = Option.value ~default:nan (List.assoc_opt ("g/" ^ name) send_timings) in
+  let fresh_ns = send_ns "fresh"
+  and pooled_ns = send_ns "pooled"
+  and sanitized_ns = send_ns "sanitized" in
   let fresh_words = minor_words_per ~n fresh_send in
   let pooled_words = minor_words_per ~n pooled_send in
+  let sanitized_words = minor_words_per ~n sanitized_send in
   Bench_util.table
-    ~columns:[ "per send (256 B payload)"; "minor words/send" ]
+    ~columns:[ "per send (256 B payload)"; "ns/send"; "minor words/send" ]
     [
-      [ "fresh buffer each send"; Printf.sprintf "%.1f" fresh_words ];
-      [ "pooled encode_into"; Printf.sprintf "%.1f" pooled_words ];
+      [ "fresh buffer each send"; Bench_util.ns_per_run fresh_ns;
+        Printf.sprintf "%.1f" fresh_words ];
+      [ "pooled encode_into"; Bench_util.ns_per_run pooled_ns;
+        Printf.sprintf "%.1f" pooled_words ];
+      [ "pooled + sanitizer armed"; Bench_util.ns_per_run sanitized_ns;
+        Printf.sprintf "%.1f" sanitized_words ];
     ];
 
   (* --- macro: drive the chain and read the pipeline's own meters --- *)
@@ -1240,10 +1262,15 @@ let hot_path ~smoke () =
          \    \"legacy_minor_words_per_hop\": %.1f,\n\
          \    \"view_minor_words_per_hop\": %.1f,\n\
          \    \"fresh_minor_words_per_send\": %.1f,\n\
-         \    \"pooled_minor_words_per_send\": %.1f\n\
+         \    \"pooled_minor_words_per_send\": %.1f,\n\
+         \    \"fresh_ns_per_send\": %.0f,\n\
+         \    \"pooled_ns_per_send\": %.0f,\n\
+         \    \"sanitized_ns_per_send\": %.0f,\n\
+         \    \"sanitized_minor_words_per_send\": %.1f\n\
          \  },\n"
          legacy_copied view_copied (legacy_copied / max 1 view_copied)
-         legacy_ns view_ns legacy_words view_words fresh_words pooled_words);
+         legacy_ns view_ns legacy_words view_words fresh_words pooled_words
+         fresh_ns pooled_ns sanitized_ns sanitized_words);
     Buffer.add_string b "  \"chains\": [\n    ";
     Buffer.add_string b (String.concat ",\n    " (List.map chain_json chains));
     Buffer.add_string b "\n  ],\n  \"modes\": {\n    ";

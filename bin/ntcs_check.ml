@@ -5,6 +5,7 @@
           ntcs_check --static-only [PATH]... skip schedule exploration
           ntcs_check --budget N              schedule cap per scenario
           ntcs_check --faults                fault-plane soak scenarios only
+          ntcs_check --sanitize              arm the pool sanitizer in scenarios
 
    Static half: the lifecycle automaton's handler-exhaustiveness check
    against proto.ml/ns_proto.ml, and the cross-module recursion-cycle
@@ -27,8 +28,8 @@ let check_paths paths =
    budget. Truncation is expected (retry timers breed ties forever); each
    scenario must instead complete at least [min_schedules] failure-free
    schedules. *)
-let run_faults json budget min_schedules =
-  let explorations = Check.explore_faults ~max_schedules:budget () in
+let run_faults json budget min_schedules sanitize =
+  let explorations = Check.explore_faults ~max_schedules:budget ~sanitize () in
   let bad = List.exists (Check.fault_exploration_failed ~min_schedules) explorations in
   if json then
     Format.printf "{\"faults\":%s}@." (Check.exploration_to_json explorations)
@@ -41,14 +42,16 @@ let run_faults json budget min_schedules =
   end;
   if bad then 1 else 0
 
-let run static_only faults json budget min_schedules paths =
-  if faults then run_faults json budget min_schedules
+let run static_only faults json budget min_schedules sanitize paths =
+  if faults then run_faults json budget min_schedules sanitize
   else
     match check_paths paths with
     | Error c -> c
     | Ok paths ->
       let diags = Check.static_check paths in
-      let explorations = if static_only then [] else Check.explore_all ~max_schedules:budget () in
+      let explorations =
+        if static_only then [] else Check.explore_all ~max_schedules:budget ~sanitize ()
+      in
       let dynamic_bad = List.exists Check.exploration_failed explorations in
       if json then begin
         Format.printf "{\"static\":%s,\"dynamic\":%s}@."
@@ -98,6 +101,17 @@ let budget_arg =
            hitting the cap counts as a failure (the exploration must be \
            exhaustive).")
 
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Arm the buffer-pool sanitizer in every scenario world: poison \
+           canaries, generation-tagged hand-outs, double/foreign-release \
+           detection. Aliasing violations fail the schedule; leaks at \
+           teardown are reported as trace events only. The `@sanitize` \
+           dune alias runs the fault soaks this way.")
+
 let min_schedules_arg =
   Arg.(
     value & opt int 100
@@ -124,6 +138,6 @@ let cmd =
     (Cmd.info "ntcs_check" ~doc ~man)
     Term.(
       const run $ static_arg $ faults_arg $ json_arg $ budget_arg $ min_schedules_arg
-      $ paths_arg)
+      $ sanitize_arg $ paths_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -62,17 +62,22 @@ let pragmas_arg =
            with its scope and reason, so suppressions stay auditable.")
 
 let cmd =
-  let doc = "check NTCS layer discipline (R1) and determinism (R2) rules" in
+  let doc = "check NTCS layer, determinism and frame-ownership rules" in
   let man =
     [
       `S Manpage.s_description;
       `P
         "Scans OCaml sources and enforces downward-only layer references, \
-         IPCS-backend and conversion-mode allowlists, and the ban on wall \
+         IPCS-backend and conversion-mode allowlists, the ban on wall \
          clocks, unseeded randomness and hash-order iteration in protocol \
-         paths. Suppress a finding with a comment: \
-         (* lint: allow <rule>(<arg>) \xe2\x80\x94 <reason> *). $(b,--pragmas) \
-         lists every active suppression.";
+         paths, and the zero-copy frame-ownership discipline: R6 \
+         ($(b,ownership)) tracks pooled buffers from Pool.alloc to \
+         Pool.release per function and flags use-after-release, double \
+         release, exception-path leaks and buffers that never reach a \
+         release or hand-off; R7 ($(b,escape)) flags live buffers and views \
+         stored into long-lived structures. Suppress a finding with a \
+         comment: (* lint: allow <rule>(<arg>) \xe2\x80\x94 <reason> *). \
+         $(b,--pragmas) lists every active suppression.";
     ]
   in
   Cmd.v (Cmd.info "ntcs_lint" ~doc ~man) Term.(const run $ pragmas_arg $ json_arg $ paths_arg)

@@ -3,6 +3,7 @@
    per-circuit hop timelines reconstructed from the causal span log.
 
    Usage: dune exec bin/ntcs_stat.exe -- [--seed N] [--faults] [--json]
+                                         [--pool] [--sanitize]
                                          [--chrome FILE] [--spans FILE]
 
    Everything is deterministic: the same --seed prints the same report and
@@ -23,7 +24,7 @@ let raw s = Ntcs_wire.Convert.payload_raw (Bytes.of_string s)
    and pings across the gateway. Small but it exercises every span source:
    circuit opens, all five LCM primitives, gateway forwards, and (with
    --faults) the retry path. *)
-let run_workload ~seed ~faults =
+let run_workload ~seed ~faults ~sanitize =
   let cluster =
     Cluster.build ~seed
       ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan); ("ring", Ntcs_sim.Net.Mbx_ring) ]
@@ -37,6 +38,9 @@ let run_workload ~seed ~faults =
       ~gateways:[ ("bridge-gw", "bridge", [ "ether"; "ring" ]) ]
       ~ns:"vax1" ()
   in
+  (* Arm before traffic: hand-outs predating the tracker would read as
+     foreign on release. *)
+  if sanitize then Ntcs_sim.World.arm_pool_sanitizer (Cluster.world cluster);
   if faults then
     Ntcs_sim.World.install_faults (Cluster.world cluster)
       (Ntcs_sim.Faults.create
@@ -78,6 +82,7 @@ let run_workload ~seed ~faults =
              done;
              ignore (Ali_layer.send commod ~dst:addr (raw "fire-and-forget")))));
   Cluster.settle ~dt:40_000_000 cluster;
+  if sanitize then ignore (Ntcs_sim.World.pool_leak_check (Cluster.world cluster));
   Cluster.metrics cluster
 
 (* --- per-layer latency table --- *)
@@ -102,7 +107,7 @@ let layer_table r =
    a buffer instead of allocating), buffers still out, and the distribution
    of bytes actually copied per frame-path observation — forwarded frames
    record 0, send-side materialisation records the payload size. *)
-let pool_report r =
+let pool_report ~sanitize r =
   let b = Buffer.create 512 in
   let hits = Ntcs_util.Metrics.get r "pool.hits" in
   let misses = Ntcs_util.Metrics.get r "pool.misses" in
@@ -119,6 +124,17 @@ let pool_report r =
     (Printf.sprintf "buffers out now: %.0f   high water: %.0f\n"
        (Ntcs_util.Metrics.gauge r "pool.in_use")
        (Ntcs_util.Metrics.gauge r "pool.high_water"));
+  (let bad = Ntcs_util.Metrics.get r "pool.bad_release" in
+   if bad > 0 then
+     Buffer.add_string b (Printf.sprintf "releases rejected: %d\n" bad));
+  if sanitize then
+    Buffer.add_string b
+      (Printf.sprintf
+         "sanitizer: poison %d  double release %d  foreign release %d  leaked %d\n"
+         (Ntcs_util.Metrics.get r "pool.sanitizer.poison")
+         (Ntcs_util.Metrics.get r "pool.sanitizer.double_release")
+         (Ntcs_util.Metrics.get r "pool.sanitizer.foreign_release")
+         (Ntcs_util.Metrics.get r "pool.sanitizer.leak"));
   (match Registry.find_histo r "frame.bytes_copied" with
    | None -> Buffer.add_string b "frame.bytes_copied: no observations\n"
    | Some h ->
@@ -232,8 +248,8 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let report ~seed ~faults ~json ~pool ~chrome ~spans_out =
-  let r = run_workload ~seed ~faults in
+let report ~seed ~faults ~json ~pool ~sanitize ~chrome ~spans_out =
+  let r = run_workload ~seed ~faults ~sanitize in
   (match chrome with
    | Some path ->
      write_file path (Export.chrome_trace r);
@@ -246,12 +262,13 @@ let report ~seed ~faults ~json ~pool ~chrome ~spans_out =
    | None -> ());
   if json then print_string (json_report r)
   else begin
-    Printf.printf "== NTCS observability report (seed %d%s) ==\n\n" seed
-      (if faults then ", fault plane armed" else "");
+    Printf.printf "== NTCS observability report (seed %d%s%s) ==\n\n" seed
+      (if faults then ", fault plane armed" else "")
+      (if sanitize then ", pool sanitizer armed" else "");
     print_string (layer_table r);
     print_newline ();
-    if pool then begin
-      print_string (pool_report r);
+    if pool || sanitize then begin
+      print_string (pool_report ~sanitize r);
       print_newline ()
     end;
     print_string (circuit_report r);
@@ -274,6 +291,14 @@ let () =
              ~doc:"Print the buffer-pool section: hit rate, buffers in flight, \
                    and the bytes-copied-per-frame distribution.")
   in
+  let sanitize =
+    Arg.(value & flag
+         & info [ "sanitize" ]
+             ~doc:"Arm the buffer-pool sanitizer on the workload's world and \
+                   report its violation counters (implies the pool section): \
+                   poison canary hits, double/foreign releases, and buffers \
+                   still outstanding at teardown.")
+  in
   let chrome =
     Arg.(value & opt (some string) None
          & info [ "chrome" ] ~docv:"FILE"
@@ -284,9 +309,9 @@ let () =
          & info [ "spans" ] ~docv:"FILE" ~doc:"Write span events as JSONL.")
   in
   let term =
-    Term.(const (fun seed faults json pool chrome spans_out ->
-              report ~seed ~faults ~json ~pool ~chrome ~spans_out)
-          $ seed $ faults $ json $ pool $ chrome $ spans_out)
+    Term.(const (fun seed faults json pool sanitize chrome spans_out ->
+              report ~seed ~faults ~json ~pool ~sanitize ~chrome ~spans_out)
+          $ seed $ faults $ json $ pool $ sanitize $ chrome $ spans_out)
   in
   exit
     (Cmd.eval'

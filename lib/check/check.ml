@@ -23,7 +23,8 @@ type exploration = {
   x_outcome : Ntcs_sim.Explore.outcome;
 }
 
-let explore_all ?max_schedules () =
+let explore_all ?max_schedules ?(sanitize = false) () =
+  Check_scenarios.sanitize := sanitize;
   List.map
     (fun sc ->
       { x_scenario = sc.Check_scenarios.sc_name; x_outcome = Check_scenarios.explore ?max_schedules sc })
@@ -40,7 +41,8 @@ let exploration_failed x =
    at least [min_schedules] schedules ran, and none of them produced a
    violation. *)
 
-let explore_faults ?max_schedules () =
+let explore_faults ?max_schedules ?(sanitize = false) () =
+  Check_scenarios.sanitize := sanitize;
   List.map
     (fun sc ->
       { x_scenario = sc.Check_scenarios.sc_name; x_outcome = Check_scenarios.explore ?max_schedules sc })

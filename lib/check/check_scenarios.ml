@@ -54,6 +54,36 @@ let spawn_echo c ~machine ~name errs =
            in
            loop ()))
 
+(* Pool-sanitizer soak mode (`ntcs_check --sanitize` / `@sanitize`): every
+   scenario arms the buffer-pool sanitizer right after building its world —
+   before any traffic — and fails the schedule on any aliasing violation
+   (poison, double release, foreign release, rejected release). Leaks are
+   *reported* (as pool.sanitizer.leak trace events) but are not failures:
+   when virtual time stops, crashed machines and undrained in-flight
+   segments legitimately still hold buffers. Off by default so `@faults`
+   traces stay byte-identical with the seed. *)
+let sanitize = ref false
+
+let built c =
+  if !sanitize then Ntcs_sim.World.arm_pool_sanitizer (Cluster.world c);
+  c
+
+let sanitizer_violations c =
+  if not !sanitize then []
+  else begin
+    ignore (Ntcs_sim.World.pool_leak_check (Cluster.world c));
+    List.concat_map
+      (fun (name, what) ->
+        let n = Ntcs_util.Metrics.get (Cluster.metrics c) name in
+        if n > 0 then [ Printf.sprintf "pool sanitizer: %d %s" n what ] else [])
+      [
+        ("pool.sanitizer.poison", "buffer(s) written through a stale view");
+        ("pool.sanitizer.double_release", "double release(s)");
+        ("pool.sanitizer.foreign_release", "foreign release(s)");
+        ("pool.bad_release", "rejected release(s)");
+      ]
+  end
+
 (* Everything checkable after a schedule ran. *)
 let trace_violations ?recursion_limit c =
   let entries = Ntcs_sim.Trace.entries (Ntcs_sim.World.trace (Cluster.world c)) in
@@ -77,7 +107,7 @@ let trace_violations ?recursion_limit c =
       (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
       (Check_spans.check (Ntcs_obs.Registry.spans (Cluster.metrics c)))
   in
-  r3 @ lifecycle @ crashes @ spans
+  r3 @ lifecycle @ crashes @ spans @ sanitizer_violations c
 
 (* §6.1 first send, across a gateway: NS on the LAN, service on the ring.
    Every schedule must deliver the echo and keep every circuit lifecycle
@@ -95,6 +125,7 @@ let first_send =
           ]
         ~gateways:[ ("bridge-gw", "bridge", [ "ether"; "ring" ]) ]
         ~ns:"vax1" ()
+      |> built
     in
     let errs = ref [] in
     let body () =
@@ -145,6 +176,7 @@ let break_ns =
             ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
           ]
         ~ns:"vax1" ()
+      |> built
     in
     let errs = ref [] in
     let body () =
@@ -208,6 +240,7 @@ let trace_violations_crashes_expected c =
     (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
     (Lint_trace.check_all entries @ Check_lifecycle.check entries
     @ Check_spans.check (Ntcs_obs.Registry.spans (Cluster.metrics c)))
+  @ sanitizer_violations c
 
 let lan3 ?tweak () =
   Cluster.build ?tweak
@@ -219,6 +252,7 @@ let lan3 ?tweak () =
         ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
       ]
     ~ns:"vax1" ()
+  |> built
 
 (* App body shared by the recovery soaks: locate [svc], prove the path works
    once, then — after the faults have begun — keep sending until an echo

@@ -13,6 +13,15 @@ type scenario = {
   sc_make : unit -> Ntcs_sim.Sched.t * (unit -> string list);
 }
 
+val sanitize : bool ref
+(** When set, every scenario arms the buffer-pool sanitizer on its world
+    (before traffic) and counts aliasing violations — poison hits, double
+    and foreign releases, rejected releases — as schedule failures; leaks
+    at teardown are reported as [pool.sanitizer.leak] trace events but not
+    failed on (stopped virtual time legitimately strands in-flight
+    buffers). Off by default, keeping soak traces byte-identical with the
+    seed. *)
+
 val first_send : scenario
 (** §6.1 first send across a prime gateway (chained open + splice). *)
 

@@ -230,6 +230,11 @@ let handle_incoming (c : circuit) raw =
        source is the remote origin, not the gateway this circuit goes to —
        re-keying on it would steal the gateway's table entry. *)
     if h.Proto.ivc = 0 && Addr.is_unique h.Proto.src then upgrade_peer c h.Proto.src;
+    (* The view's backing store is this frame's own receive buffer — STD-IF
+       hands each message fresh bytes, never pooled — so queueing it in the
+       inbox is the designed ownership hand-off: the consumer holds the only
+       reference and no release can recycle it under them. *)
+    (* lint: allow escape(v) — inbox hand-off of an unpooled per-message receive buffer *)
     Sched.Mailbox.send t.inbox (Frame (c, v))
 
 let reader_loop (c : circuit) =

@@ -20,16 +20,21 @@ let rec walk path acc =
 
 let source_files paths = List.rev (List.fold_left (fun acc p -> walk p acc) [] paths)
 
-let check_source src =
+let check_source ?(summaries = []) src =
   let _, malformed = Lint_lex.pragmas src in
   Lint_diag.sort
     (malformed @ Lint_layering.check src @ Lint_determinism.check src
-    @ Lint_copies.check src @ Lint_categories.check src)
+    @ Lint_copies.check src @ Lint_categories.check src
+    @ Lint_ownership.check ~summaries src)
 
 let lint_file file = check_source (Lint_lex.load file)
 
+(* Tree-level pass: load everything once, give R6/R7 the cross-file
+   function summaries (one interprocedural level), then check each file. *)
 let lint_paths paths =
-  Lint_diag.sort (List.concat_map lint_file (source_files paths))
+  let sources = List.map Lint_lex.load (source_files paths) in
+  let summaries = List.concat_map Lint_ownership.summarize sources in
+  Lint_diag.sort (List.concat_map (check_source ~summaries) sources)
 
 let report ppf diags =
   List.iter (fun d -> Format.fprintf ppf "%a@." Lint_diag.pp d) diags

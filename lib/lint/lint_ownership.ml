@@ -1,0 +1,431 @@
+(* R6 [ownership] / R7 [escape]: the frame-lifetime discipline, machine
+   checked. PR 5's zero-copy pipeline is only sound under rules that until
+   now lived in comments: [Pool.alloc] transfers a buffer to the binder,
+   [Pool.release] revokes it, and no [Proto.Frame] view may outlive the
+   buffer it aliases. A recycled-buffer aliasing bug violates none of the
+   functional tests — the bytes are simply someone else's — so the rules
+   are enforced statically here, with the pool's runtime sanitizer as the
+   dynamic backstop.
+
+   The analysis is grep-grade on purpose, like every other rule in this
+   linter: an intraprocedural, path-insensitive dataflow over blanked
+   source lines. Each top-level [let]/[and] chunk is scanned once, top to
+   bottom, tracking identifiers bound from the calls in
+   [Lint_rules.alloc_calls] / [view_calls]:
+
+   - a tracked identifier appearing on a line after its release is a
+     use-after-release (R6), as is use of a view whose backing buffer has
+     been released;
+   - a second release of the same identifier is a double release (R6);
+   - a tracked buffer that reaches the end of its chunk without being
+     released, tail-returned, consumed or escaped is a leak (R6);
+   - a literal [raise]/[failwith] between an alloc and its release marks
+     an exception path on which the release cannot run (R6);
+   - a tracked buffer or view on a line that stores through one of
+     [Lint_rules.escape_sinks] (Hashtbl/Queue/ref/mutable-field/mailbox)
+     escapes to a lifetime the function no longer controls (R7).
+
+   One level of interprocedural propagation: every chunk gets a summary —
+   consumes (releases one of its own parameters) / returns-ownership
+   (tail-returns a buffer it allocated) — resolved by the same
+   module-of-file scheme the check plane's call graph uses, so a call to a
+   consuming helper counts as a release and a call to an allocating
+   helper counts as an alloc. Summaries are computed from direct events
+   only (no fixpoint), which is exactly "one level".
+
+   Suppressions: [lint: allow ownership(<id>) — reason] and
+   [lint: allow escape(<id>) — reason], the standard pragma syntax. Every
+   sanctioned escape must say why the stored view's buffer cannot be
+   recycled under it. *)
+
+let rule_own = "ownership"
+let rule_esc = "escape"
+
+type summary = {
+  s_module : string;
+  s_name : string;
+  s_consumes : bool;  (** releases one of its parameters *)
+  s_returns : bool;  (** tail-returns a buffer it allocated *)
+}
+
+let is_ml file = Filename.check_suffix file ".ml"
+
+(* --- lexical helpers ---------------------------------------------------- *)
+
+(* Dotted-suffix call match: like [Lint_lex.line_has_token], but a '.' may
+   precede the pattern, so "Pool.alloc" also matches in
+   "Ntcs_util.Pool.alloc". Returns the position just past the first match. *)
+let call_end line pat =
+  let n = String.length line and m = String.length pat in
+  let ok_at i =
+    (i = 0 || (let c = line.[i - 1] in (not (Lint_lex.is_ident_char c)) || c = '.'))
+    && (i + m >= n || not (Lint_lex.is_ident_char line.[i + m]))
+  in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat && ok_at i then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let has_call line pat = call_end line pat <> None
+
+let has_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+
+(* Lowercase identifiers from position [from], with positions, in order.
+   Module-path components ([Foo.bar] -> bar), labels ([~off]), optional
+   args and record projections ([t.pool]) are skipped: those are not the
+   binding occurrences we track. *)
+let idents_from line from =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref from in
+  while !i < n do
+    let c = line.[!i] in
+    if Lint_lex.is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && Lint_lex.is_ident_char line.[!j] do incr j done;
+      let prev = if !i = 0 then ' ' else line.[!i - 1] in
+      if is_lower c && prev <> '~' && prev <> '?' && prev <> '.' && prev <> '\'' then
+        out := (!i, String.sub line !i (!j - !i)) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !out
+
+(* First standalone '=' at or after [from]: not part of a two-char operator
+   like [<=], [:=], [==], [=>]. *)
+let eq_pos line from =
+  let n = String.length line in
+  let op = function
+    | '<' | '>' | '!' | ':' | '+' | '-' | '*' | '/' | '&' | '|' | '@' | '^' | '=' -> true
+    | _ -> false
+  in
+  let rec go i =
+    if i >= n then None
+    else if line.[i] = '=' && (i = 0 || not (op line.[i - 1])) && (i + 1 >= n || line.[i + 1] <> '=')
+    then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* [let]-bindings opened on this line whose '=' sits on the same line:
+   [(id, params_nonempty, text after '=')]. Pattern, unit and wildcard
+   bindings yield nothing. *)
+let bindings line =
+  let n = String.length line in
+  let rec lets i acc =
+    if i + 3 > n then List.rev acc
+    else if
+      String.sub line i 3 = "let"
+      && (i = 0 || not (Lint_lex.is_ident_char line.[i - 1]))
+      && (i + 3 >= n || not (Lint_lex.is_ident_char line.[i + 3]))
+    then lets (i + 3) ((i + 3) :: acc)
+    else lets (i + 1) acc
+  in
+  List.filter_map
+    (fun after ->
+      match idents_from line after with
+      | [] -> None
+      | (p0, "rec") :: rest -> (
+        ignore p0;
+        match rest with [] -> None | (p, id) :: _ -> Some (p, id))
+      | (p, id) :: _ -> Some (p, id))
+    (lets 0 [])
+  |> List.filter_map (fun (p, id) ->
+         if id = "" || id.[0] = '_' then None
+         else
+           let id_end = p + String.length id in
+           match eq_pos line id_end with
+           | None ->
+             (* '=' on a later line: treat as a rebind with an unknown body. *)
+             Some (id, String.trim (String.sub line id_end (n - id_end)) <> "", "")
+           | Some eq ->
+             let between = String.trim (String.sub line id_end (eq - id_end)) in
+             let rest = String.sub line (eq + 1) (n - eq - 1) in
+             Some (id, between <> "", rest))
+
+(* A line whose whole content is one identifier (optionally under
+   [Ok]/[Some]/[Error], optionally ';'-terminated) tail-returns it. *)
+let transfer_target line =
+  let s = String.trim line in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = ';' then
+      String.trim (String.sub s 0 (String.length s - 1))
+    else s
+  in
+  let strip_prefix p s =
+    let lp = String.length p in
+    if String.length s > lp && String.sub s 0 lp = p then String.trim (String.sub s lp (String.length s - lp))
+    else s
+  in
+  let s = strip_prefix "Ok " (strip_prefix "Some " (strip_prefix "Error " s)) in
+  if s <> "" && is_lower s.[0] && String.for_all Lint_lex.is_ident_char s then Some s else None
+
+(* --- per-chunk dataflow ------------------------------------------------- *)
+
+type origin = Buf | View of string option
+
+type tr = {
+  t_origin : origin;
+  t_bound : int;
+  mutable t_released : int;  (* 0 = live *)
+  mutable t_gone : bool;  (* transferred / escaped / consumed *)
+  mutable t_transferred : bool;
+}
+
+(* A chunk: one top-level [let]/[and] with its body, as (lineno, line). *)
+let chunks blank =
+  let starts_chunk line =
+    let kw k =
+      let lk = String.length k in
+      String.length line > lk && String.sub line 0 lk = k && not (Lint_lex.is_ident_char line.[lk])
+    in
+    kw "let" || kw "and"
+  in
+  let rec go acc cur = function
+    | [] -> List.rev (match cur with [] -> acc | c -> List.rev c :: acc)
+    | (no, line) :: rest ->
+      if starts_chunk line then go (match cur with [] -> acc | c -> List.rev c :: acc) [ (no, line) ] rest
+      else go acc (match cur with [] -> [] | c -> (no, line) :: c) rest
+  in
+  let numbered = List.mapi (fun i l -> (i + 1, l)) (Lint_lex.lines blank) in
+  go [] [] numbered
+
+let chunk_name = function
+  | [] -> None
+  | (_, header) :: _ -> (
+    let name =
+      match idents_from header 3 with
+      | (_, "rec") :: (_, id) :: _ -> Some id
+      | (_, id) :: _ -> Some id
+      | [] -> None
+    in
+    match name with Some id when id <> "" && id.[0] <> '_' -> Some id | _ -> None)
+
+(* Parameters named on the chunk's header line, between the function name
+   and the '=' (or to end of line). Good enough to classify a released
+   identifier as "one of my parameters". *)
+let chunk_params = function
+  | [] -> []
+  | (_, header) :: _ -> (
+    match idents_from header 3 with
+    | [] -> []
+    | (p0, "rec") :: rest | (p0, _) :: rest -> (
+      ignore p0;
+      let stop = match eq_pos header 0 with Some e -> e | None -> String.length header in
+      match rest with
+      | _ ->
+        List.filter_map (fun (p, id) -> if p < stop then Some id else None) rest))
+
+(* Scan one chunk. [report] is how diagnostics leave; the returned flags
+   feed the summary pass. *)
+let scan_chunk ~file ~pragmas ~summaries ~self chunk report =
+  let tracked : (string, tr) Hashtbl.t = Hashtbl.create 8 in
+  let raises = ref [] in
+  let returns_direct = ref false in
+  let consumed_param = ref false in
+  let params = chunk_params chunk in
+  let header_line = match chunk with (no, _) :: _ -> no | [] -> 0 in
+  let last_line = List.fold_left (fun acc (no, l) -> if String.trim l = "" then acc else no) 0 chunk in
+  let find id = Hashtbl.find_opt tracked id in
+  let allowed rule arg line = Lint_lex.pragma_allows pragmas ~rule ~arg ~line in
+  let diag rule line msg = report (Lint_diag.make ~file ~line ~rule msg) in
+  (* Does this expression call something that hands ownership back? *)
+  let binds_buffer rest =
+    List.exists (has_call rest) Lint_rules.alloc_calls
+    || List.exists
+         (fun s ->
+           s.s_returns && s.s_name <> self
+           && (Lint_lex.line_has_token rest s.s_name
+              || Lint_lex.line_has_token rest (s.s_module ^ "." ^ s.s_name)))
+         summaries
+  in
+  let consuming_call line =
+    List.exists
+      (fun s ->
+        s.s_consumes && s.s_name <> self
+        && (Lint_lex.line_has_token line s.s_name
+           || Lint_lex.line_has_token line (s.s_module ^ "." ^ s.s_name)))
+      summaries
+  in
+  List.iter
+    (fun (lineno, line) ->
+      (* 1. releases — direct calls name their argument; consuming helpers
+         release every tracked buffer they are handed. *)
+      let released_here = ref [] in
+      let release_of id =
+        match find id with
+        | Some t when t.t_origin = Buf ->
+          released_here := id :: !released_here;
+          if List.mem id params then consumed_param := true;
+          if t.t_released > 0 then begin
+            if not (allowed rule_own id lineno) then
+              diag rule_own lineno
+                (Printf.sprintf "%s: released again (first released at line %d)" id t.t_released)
+          end
+          else t.t_released <- lineno
+        | Some _ | None -> if List.mem id params then consumed_param := true
+      in
+      List.iter
+        (fun pat ->
+          match call_end line pat with
+          | None -> ()
+          | Some after -> (
+            match idents_from line after with
+            | _ :: (_, id) :: _ | [ (_, id) ] -> release_of id
+            | [] -> ()))
+        Lint_rules.release_calls;
+      if consuming_call line then
+        Hashtbl.iter
+          (fun id t ->
+            if t.t_origin = Buf && t.t_released = 0 && Lint_lex.line_has_token line id then
+              release_of id)
+          tracked;
+      (* 2. bindings *)
+      List.iter
+        (fun (id, is_fun, rest) ->
+          if is_fun then begin
+            (* A function definition, not a value: its body returning an
+               alloc directly is a returns-ownership summary, not a leak. *)
+            if lineno = header_line && binds_buffer rest then returns_direct := true
+          end
+          else if binds_buffer rest then
+            Hashtbl.replace tracked id
+              { t_origin = Buf; t_bound = lineno; t_released = 0; t_gone = false; t_transferred = false }
+          else if List.exists (has_call rest) Lint_rules.view_calls then begin
+            let base =
+              List.find_map
+                (fun (_, w) ->
+                  match find w with Some { t_origin = Buf; _ } -> Some w | _ -> None)
+                (idents_from rest 0)
+            in
+            Hashtbl.replace tracked id
+              { t_origin = View base; t_bound = lineno; t_released = 0; t_gone = false;
+                t_transferred = false }
+          end
+          else if Hashtbl.mem tracked id then Hashtbl.remove tracked id)
+        (bindings line);
+      (* 3. use after release *)
+      Hashtbl.iter
+        (fun id t ->
+          if (not (List.mem id !released_here)) && Lint_lex.line_has_token line id then begin
+            (match t.t_origin with
+             | Buf ->
+               if t.t_released > 0 && t.t_released < lineno && not (allowed rule_own id lineno)
+               then
+                 diag rule_own lineno
+                   (Printf.sprintf "%s: used after release (line %d) — the buffer may already be recycled"
+                      id t.t_released)
+             | View base -> (
+               match base with
+               | Some b -> (
+                 match find b with
+                 | Some bt when bt.t_released > 0 && bt.t_released < lineno ->
+                   if not (allowed rule_own id lineno) then
+                     diag rule_own lineno
+                       (Printf.sprintf
+                          "%s: view used after its buffer %s was released (line %d)" id b
+                          bt.t_released)
+                 | _ -> ())
+               | None -> ()));
+            (* 4. escapes (R7) *)
+            if t.t_released = 0 then
+              match
+                List.find_opt (fun s -> has_sub ~sub:s line) Lint_rules.escape_sinks
+              with
+              | Some sink ->
+                t.t_gone <- true;
+                if not (allowed rule_esc id lineno) then
+                  diag rule_esc lineno
+                    (Printf.sprintf
+                       "%s: stored into a long-lived structure (%s) without an ownership pragma"
+                       id sink)
+              | None -> ()
+          end)
+        tracked;
+      (* 5. literal exception sites *)
+      if
+        Lint_lex.line_has_token line "raise"
+        || Lint_lex.line_has_token line "failwith"
+        || Lint_lex.line_has_token line "invalid_arg"
+      then raises := lineno :: !raises;
+      (* 6. tail transfer *)
+      match transfer_target line with
+      | Some id -> (
+        match find id with
+        | Some t when t.t_origin = Buf && t.t_released = 0 ->
+          t.t_gone <- true;
+          t.t_transferred <- true;
+          if lineno = last_line then returns_direct := true
+        | _ -> ())
+      | None -> ())
+    chunk;
+  (* end of chunk: leaks and exception-path holes *)
+  Hashtbl.iter
+    (fun id t ->
+      match t.t_origin with
+      | View _ -> ()
+      | Buf ->
+        if t.t_released = 0 && not t.t_gone then begin
+          if not (allowed rule_own id t.t_bound) then
+            diag rule_own t.t_bound
+              (Printf.sprintf "%s: pooled buffer is never released, returned or handed off" id)
+        end
+        else if t.t_released > 0 then
+          List.iter
+            (fun r ->
+              if r > t.t_bound && r < t.t_released && not (allowed rule_own id r) then
+                diag rule_own r
+                  (Printf.sprintf
+                     "%s: raise between alloc (line %d) and release (line %d) — the exception \
+                      path leaks the buffer"
+                     id t.t_bound t.t_released))
+            (List.sort compare !raises))
+    tracked;
+  (!consumed_param, !returns_direct)
+
+(* --- public passes ------------------------------------------------------ *)
+
+let summarize (src : Lint_lex.source) =
+  let file = src.Lint_lex.src_file in
+  if not (is_ml file) || Lint_rules.may_manage_buffers file then []
+  else begin
+    let m = Lint_rules.module_of_file file in
+    List.filter_map
+      (fun chunk ->
+        match chunk_name chunk with
+        | None -> None
+        | Some name ->
+          let consumes, returns =
+            scan_chunk ~file ~pragmas:[] ~summaries:[] ~self:name chunk (fun _ -> ())
+          in
+          if consumes || returns then
+            Some { s_module = m; s_name = name; s_consumes = consumes; s_returns = returns }
+          else None)
+      (chunks src.Lint_lex.src_blank)
+  end
+
+let check ?(summaries = []) (src : Lint_lex.source) =
+  let file = src.Lint_lex.src_file in
+  if not (is_ml file) || Lint_rules.may_manage_buffers file then []
+  else begin
+    let pragmas, _ = Lint_lex.pragmas src in
+    (* Same-file helpers always contribute summaries; cross-file ones come
+       from the caller (the tree-level pass in [Lint.lint_paths]). *)
+    let summaries = summarize src @ summaries in
+    let diags = ref [] in
+    List.iter
+      (fun chunk ->
+        let self = match chunk_name chunk with Some n -> n | None -> "" in
+        ignore
+          (scan_chunk ~file ~pragmas ~summaries ~self chunk (fun d -> diags := d :: !diags)))
+      (chunks src.Lint_lex.src_blank);
+    Lint_diag.sort !diags
+  end

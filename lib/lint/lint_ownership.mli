@@ -1,0 +1,33 @@
+(** R6 [ownership] / R7 [escape]: the frame-lifetime discipline of the
+    zero-copy pipeline, checked statically.
+
+    An intraprocedural, path-insensitive dataflow over blanked source
+    lines tracks identifiers bound from [Pool.alloc] and the
+    [Proto.Frame] view constructors, and flags use-after-release, double
+    release, a buffer never released on some path, a literal
+    [raise]/[failwith] between alloc and release (R6), and tracked
+    values stored into long-lived structures without a reasoned pragma
+    (R7). One level of interprocedural propagation via per-function
+    summaries: helpers that release a parameter count as releases at
+    their call sites, helpers that tail-return an allocation count as
+    allocs.
+
+    Suppress with [lint: allow ownership(<id>) — reason] or
+    [lint: allow escape(<id>) — reason]. *)
+
+type summary = {
+  s_module : string;
+  s_name : string;
+  s_consumes : bool;  (** releases one of its parameters *)
+  s_returns : bool;  (** tail-returns a buffer it allocated *)
+}
+
+val summarize : Lint_lex.source -> summary list
+(** Per-function ownership summaries for this file (only functions with
+    pool events get one). Computed from direct events only — one level. *)
+
+val check : ?summaries:summary list -> Lint_lex.source -> Lint_diag.t list
+(** Run R6/R7 on one source. [summaries] supplies cross-file function
+    summaries (from {!summarize} over the rest of the tree); same-file
+    helpers are summarized automatically. [.mli] files and the pool
+    implementation itself are exempt. *)

@@ -40,6 +40,22 @@ val may_copy_frames : string -> bool
 
 val copy_calls : string list
 
+val alloc_calls : string list
+(** Calls that transfer ownership of a buffer to the binder (R6). *)
+
+val release_calls : string list
+(** Calls that revoke ownership — after one, the buffer is untouchable. *)
+
+val view_calls : string list
+(** Frame-view constructors: the bound view aliases its backing buffer. *)
+
+val escape_sinks : string list
+(** Stores that hand a tracked buffer/view a longer lifetime than the
+    binding (R7); matched as substrings of the blanked line. *)
+
+val may_manage_buffers : string -> bool
+(** Is this file the pool implementation itself (exempt from R6/R7)? *)
+
 type det_rule = { d_pat : string; d_why : string; d_everywhere : bool }
 
 val det_rules : det_rule list

@@ -193,6 +193,20 @@ let install_faults t (f : Faults.t) =
     (fun (at_us, ev) -> Sched.at t.sched at_us (fun () -> apply_fault_event t f ev))
     (Faults.schedule f)
 
+(* Arm the buffer-pool sanitizer on this world: violations become
+   deterministic trace events stamped with virtual time, alongside the
+   [pool.sanitizer.*] registry counters the pool keeps on its own. Arm
+   before traffic runs — hand-outs alive at arming time would read as
+   foreign on release. *)
+let arm_pool_sanitizer t =
+  Ntcs_util.Pool.set_emit t.pool (fun ~cat ~detail -> record t ~cat ~actor:"pool" detail);
+  Ntcs_util.Pool.set_sanitize t.pool true
+
+(* Teardown leak report: one [pool.sanitizer.leak] event per buffer still
+   outstanding; returns the count. A report, not a failure — crashed
+   machines legitimately strand their in-flight buffers. *)
+let pool_leak_check t = Ntcs_util.Pool.leak_check t.pool
+
 (* Schedule delivery of [size] bytes from [src] to [dst] over [net]; returns
    false when the attempt cannot even leave (partition, crash, detachment).
    The callback re-checks destination liveness at delivery time so a machine

@@ -83,6 +83,20 @@ val install_faults : t -> Faults.t -> unit
 
 val faults : t -> Faults.t option
 
+(** {1 Pool sanitizer} *)
+
+val arm_pool_sanitizer : t -> unit
+(** Arm the buffer-pool sanitizer on this world's pool and point its
+    violation emitter at the world trace, so every violation is a
+    deterministic [pool.sanitizer.*] trace event stamped with virtual
+    time. Arm before traffic runs. *)
+
+val pool_leak_check : t -> int
+(** Emit the teardown leak report (one [pool.sanitizer.leak] event per
+    buffer still outstanding) and return the count. A report, not a
+    failure — crashed machines legitimately strand their in-flight
+    buffers. *)
+
 (** {1 Transmission} *)
 
 val transmit :

@@ -215,6 +215,27 @@ let test_pool_size_classes () =
     [ 1; 63; 64; 65; 511; 512; 513; 4096; 65536; 65537 ];
   Alcotest.(check int) "all returned" 0 (Ntcs_util.Pool.in_use pool)
 
+let test_pool_boundary_accounting () =
+  (* Unpooled hand-outs are owed back like pooled ones: the in_use gauge
+     must rise and fall across the max_pooled boundary, and a bogus
+     release must be rejected and counted instead of corrupting it. *)
+  let r = Ntcs_obs.Registry.create () in
+  let pool = Ntcs_util.Pool.create ~registry:r () in
+  let at = Ntcs_util.Pool.alloc pool Ntcs_util.Pool.max_pooled in
+  let over = Ntcs_util.Pool.alloc pool (Ntcs_util.Pool.max_pooled + 1) in
+  Alcotest.(check int) "boundary pooled to class size" Ntcs_util.Pool.max_pooled
+    (Bytes.length at);
+  Alcotest.(check int) "past the boundary allocated exactly"
+    (Ntcs_util.Pool.max_pooled + 1) (Bytes.length over);
+  Alcotest.(check int) "both owed back" 2 (Ntcs_util.Pool.in_use pool);
+  Ntcs_util.Pool.release pool at;
+  Ntcs_util.Pool.release pool over;
+  Alcotest.(check int) "both returned" 0 (Ntcs_util.Pool.in_use pool);
+  Ntcs_util.Pool.release pool at;
+  Alcotest.(check int) "double release rejected" 1
+    (Ntcs_util.Metrics.get r "pool.bad_release");
+  Alcotest.(check int) "gauge not driven negative" 0 (Ntcs_util.Pool.in_use pool)
+
 let () =
   Alcotest.run "frame"
     [
@@ -232,5 +253,7 @@ let () =
         [
           Alcotest.test_case "recycles buffers" `Quick test_pool_recycles;
           Alcotest.test_case "size classes" `Quick test_pool_size_classes;
+          Alcotest.test_case "boundary accounting" `Quick
+            test_pool_boundary_accounting;
         ] );
     ]

@@ -256,6 +256,156 @@ let test_r3_identity_conversion () =
   Alcotest.(check int) "check_all aggregates" 2
     (List.length (Lint_trace.check_all ~recursion_limit:64 bad))
 
+(* --- R6: frame ownership --- *)
+
+let test_r6_use_after_release () =
+  let text =
+    "let send pool =\n\
+    \  let b = Pool.alloc pool 64 in\n\
+    \  Pool.release pool b;\n\
+    \  Bytes.set b 0 'x'\n"
+  in
+  Alcotest.(check (list string))
+    "use after release flagged at the use site"
+    [
+      "lib/core/own.ml:4: [ownership] b: used after release (line 3) \xe2\x80\x94 the buffer \
+       may already be recycled";
+    ]
+    (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)))
+
+let test_r6_double_release () =
+  let text =
+    "let f pool =\n\
+    \  let b = Pool.alloc pool 64 in\n\
+    \  Pool.release pool b;\n\
+    \  Pool.release pool b\n"
+  in
+  Alcotest.(check (list string))
+    "second release flagged"
+    [ "lib/core/own.ml:4: [ownership] b: released again (first released at line 3)" ]
+    (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)))
+
+let test_r6_leak () =
+  let text = "let f pool =\n  let b = Pool.alloc pool 64 in\n  ignore b\n" in
+  Alcotest.(check (list string))
+    "missing release flagged at the alloc"
+    [
+      "lib/core/own.ml:2: [ownership] b: pooled buffer is never released, returned or \
+       handed off";
+    ]
+    (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)))
+
+let test_r6_exception_path () =
+  let text =
+    "let f pool n =\n\
+    \  let b = Pool.alloc pool 64 in\n\
+    \  if n > 9 then failwith \"bad\";\n\
+    \  Pool.release pool b\n"
+  in
+  Alcotest.(check (list string))
+    "raise between alloc and release flagged"
+    [
+      "lib/core/own.ml:3: [ownership] b: raise between alloc (line 2) and release (line 4) \
+       \xe2\x80\x94 the exception path leaks the buffer";
+    ]
+    (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)))
+
+let test_r6_view_after_release () =
+  let text =
+    "let f pool h payload =\n\
+    \  let b = Pool.alloc pool 64 in\n\
+    \  let v = Proto.Frame.encode_into h ~payload b ~off:0 in\n\
+    \  Pool.release pool b;\n\
+    \  ignore (Proto.Frame.header v)\n"
+  in
+  Alcotest.(check (list string))
+    "stale view flagged"
+    [
+      "lib/core/own.ml:5: [ownership] v: view used after its buffer b was released (line 4)";
+    ]
+    (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)))
+
+let test_r6_summaries () =
+  (* One interprocedural level: a helper that tail-returns its allocation
+     transfers ownership to the caller; a helper that releases a parameter
+     consumes at the call site. *)
+  let text =
+    "let make pool =\n\
+    \  let b = Pool.alloc pool 64 in\n\
+    \  b\n\
+     \n\
+     let use pool =\n\
+    \  let q = make pool in\n\
+    \  ignore q\n\
+     \n\
+     let free pool b = Pool.release pool b\n\
+     \n\
+     let ok pool =\n\
+    \  let b = Pool.alloc pool 64 in\n\
+    \  free pool b\n"
+  in
+  Alcotest.(check (list string))
+    "returns-ownership leaks at the caller; consuming helper releases"
+    [
+      "lib/core/own.ml:6: [ownership] q: pooled buffer is never released, returned or \
+       handed off";
+    ]
+    (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)))
+
+let test_r6_clean_hot_path () =
+  (* The canonical send shape must stay diagnostic-free: alloc, encode a
+     view over it, send, release, return the result. *)
+  let text =
+    "let send_frame c h payload pool =\n\
+    \  let buf = Pool.alloc pool 128 in\n\
+    \  let v = Proto.Frame.encode_into h ~payload buf ~off:0 in\n\
+    \  let r = send_view c v buf in\n\
+    \  Pool.release pool buf;\n\
+    \  r\n"
+  in
+  Alcotest.(check (list string)) "clean" []
+    (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)))
+
+(* --- R7: escapes --- *)
+
+let test_r7_escape () =
+  let text =
+    "let f pool tbl k =\n\
+    \  let b = Pool.alloc pool 64 in\n\
+    \  Hashtbl.replace tbl k b\n"
+  in
+  Alcotest.(check (list string))
+    "store into a Hashtbl flagged"
+    [
+      "lib/core/own.ml:3: [escape] b: stored into a long-lived structure (Hashtbl.replace) \
+       without an ownership pragma";
+    ]
+    (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)));
+  (* The sanctioned form: a pragma with a reason. The escape also counts as
+     a hand-off, so no leak diagnostic either. *)
+  let text =
+    "let f pool tbl k =\n\
+    \  let b = Pool.alloc pool 64 in\n\
+    \  (* lint: allow escape(b) \xe2\x80\x94 retained until the table entry is evicted *)\n\
+    \  Hashtbl.replace tbl k b\n"
+  in
+  Alcotest.(check (list string)) "pragma sanctions the escape" []
+    (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)))
+
+let test_r7_mailbox_send () =
+  let text =
+    "let f pool inbox =\n\
+    \  let v = Proto.Frame.of_bytes raw in\n\
+    \  Sched.Mailbox.send inbox v\n"
+  in
+  Alcotest.(check (list string))
+    "view queued into a mailbox flagged"
+    [
+      "lib/core/own.ml:3: [escape] v: stored into a long-lived structure (Mailbox.send) \
+       without an ownership pragma";
+    ]
+    (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)))
+
 (* --- the repo itself stays clean --- *)
 
 let test_repo_sources_clean () =
@@ -294,6 +444,21 @@ let () =
           Alcotest.test_case "gateway peering" `Quick test_r3_gateway_peering;
           Alcotest.test_case "recursion depth" `Quick test_r3_recursion_depth;
           Alcotest.test_case "identity conversion" `Quick test_r3_identity_conversion;
+        ] );
+      ( "r6-ownership",
+        [
+          Alcotest.test_case "use after release" `Quick test_r6_use_after_release;
+          Alcotest.test_case "double release" `Quick test_r6_double_release;
+          Alcotest.test_case "leak" `Quick test_r6_leak;
+          Alcotest.test_case "exception path" `Quick test_r6_exception_path;
+          Alcotest.test_case "view after release" `Quick test_r6_view_after_release;
+          Alcotest.test_case "function summaries" `Quick test_r6_summaries;
+          Alcotest.test_case "clean hot path" `Quick test_r6_clean_hot_path;
+        ] );
+      ( "r7-escape",
+        [
+          Alcotest.test_case "hashtbl store + pragma" `Quick test_r7_escape;
+          Alcotest.test_case "mailbox send" `Quick test_r7_mailbox_send;
         ] );
       ("repo", [ Alcotest.test_case "lib/ clean" `Quick test_repo_sources_clean ]);
     ]
