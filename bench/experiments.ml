@@ -1169,6 +1169,27 @@ let hot_path ~smoke () =
   let fresh_words = minor_words_per ~n fresh_send in
   let pooled_words = minor_words_per ~n pooled_send in
   let sanitized_words = minor_words_per ~n sanitized_send in
+
+  (* --- micro: the pooled send again with a race-checker access hook on
+     the path, monitor disarmed (the default everywhere outside @race).
+     The guard row: unarmed hooks must cost the same as no hooks. --- *)
+  let gsched = Ntcs_sim.Sched.create () in
+  let gcell =
+    Ntcs_sim.Sched.register_cell gsched ~name:"bench.cell"
+      ~policy:Ntcs_sim.Sched.Exclusive
+  in
+  let race_unarmed_send () =
+    Ntcs_sim.Sched.access gsched gcell ~write:true;
+    pooled_send ()
+  in
+  let race_timings =
+    Bench_util.bechamel_run ~quota
+      [ Bechamel.Test.make ~name:"race-unarmed" (Bechamel.Staged.stage race_unarmed_send) ]
+  in
+  let race_unarmed_ns =
+    Option.value ~default:nan (List.assoc_opt "g/race-unarmed" race_timings)
+  in
+  let race_unarmed_words = minor_words_per ~n race_unarmed_send in
   Bench_util.table
     ~columns:[ "per send (256 B payload)"; "ns/send"; "minor words/send" ]
     [
@@ -1178,6 +1199,8 @@ let hot_path ~smoke () =
         Printf.sprintf "%.1f" pooled_words ];
       [ "pooled + sanitizer armed"; Bench_util.ns_per_run sanitized_ns;
         Printf.sprintf "%.1f" sanitized_words ];
+      [ "pooled + race hooks unarmed"; Bench_util.ns_per_run race_unarmed_ns;
+        Printf.sprintf "%.1f" race_unarmed_words ];
     ];
 
   (* --- macro: drive the chain and read the pipeline's own meters --- *)
@@ -1266,11 +1289,14 @@ let hot_path ~smoke () =
          \    \"fresh_ns_per_send\": %.0f,\n\
          \    \"pooled_ns_per_send\": %.0f,\n\
          \    \"sanitized_ns_per_send\": %.0f,\n\
-         \    \"sanitized_minor_words_per_send\": %.1f\n\
+         \    \"sanitized_minor_words_per_send\": %.1f,\n\
+         \    \"race_unarmed_ns_per_send\": %.0f,\n\
+         \    \"race_unarmed_minor_words_per_send\": %.1f\n\
          \  },\n"
          legacy_copied view_copied (legacy_copied / max 1 view_copied)
          legacy_ns view_ns legacy_words view_words fresh_words pooled_words
-         fresh_ns pooled_ns sanitized_ns sanitized_words);
+         fresh_ns pooled_ns sanitized_ns sanitized_words race_unarmed_ns
+         race_unarmed_words);
     Buffer.add_string b "  \"chains\": [\n    ";
     Buffer.add_string b (String.concat ",\n    " (List.map chain_json chains));
     Buffer.add_string b "\n  ],\n  \"modes\": {\n    ";

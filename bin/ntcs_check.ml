@@ -6,6 +6,7 @@
           ntcs_check --budget N              schedule cap per scenario
           ntcs_check --faults                fault-plane soak scenarios only
           ntcs_check --sanitize              arm the pool sanitizer in scenarios
+          ntcs_check --races                 arm the happens-before race checker
 
    Static half: the lifecycle automaton's handler-exhaustiveness check
    against proto.ml/ns_proto.ml, and the cross-module recursion-cycle
@@ -28,8 +29,8 @@ let check_paths paths =
    budget. Truncation is expected (retry timers breed ties forever); each
    scenario must instead complete at least [min_schedules] failure-free
    schedules. *)
-let run_faults json budget min_schedules sanitize =
-  let explorations = Check.explore_faults ~max_schedules:budget ~sanitize () in
+let run_faults json budget min_schedules sanitize races =
+  let explorations = Check.explore_faults ~max_schedules:budget ~sanitize ~races () in
   let bad = List.exists (Check.fault_exploration_failed ~min_schedules) explorations in
   if json then
     Format.printf "{\"faults\":%s}@." (Check.exploration_to_json explorations)
@@ -42,15 +43,16 @@ let run_faults json budget min_schedules sanitize =
   end;
   if bad then 1 else 0
 
-let run static_only faults json budget min_schedules sanitize paths =
-  if faults then run_faults json budget min_schedules sanitize
+let run static_only faults json budget min_schedules sanitize races paths =
+  if faults then run_faults json budget min_schedules sanitize races
   else
     match check_paths paths with
     | Error c -> c
     | Ok paths ->
       let diags = Check.static_check paths in
       let explorations =
-        if static_only then [] else Check.explore_all ~max_schedules:budget ~sanitize ()
+        if static_only then []
+        else Check.explore_all ~max_schedules:budget ~sanitize ~races ()
       in
       let dynamic_bad = List.exists Check.exploration_failed explorations in
       if json then begin
@@ -112,6 +114,18 @@ let sanitize_arg =
            teardown are reported as trace events only. The `@sanitize` \
            dune alias runs the fault soaks this way.")
 
+let races_arg =
+  Arg.(
+    value & flag
+    & info [ "races" ]
+        ~doc:
+          "Arm the happens-before race checker in every scenario world: \
+           vector clocks over the scheduler's owner-tagged events, plus \
+           access hooks on the registered shared cells. Any conflicting \
+           access pair unordered by happens-before — a would-be race under \
+           domain-parallel world execution — fails the schedule. The \
+           `@race` dune alias runs the scenarios and fault soaks this way.")
+
 let min_schedules_arg =
   Arg.(
     value & opt int 100
@@ -138,6 +152,6 @@ let cmd =
     (Cmd.info "ntcs_check" ~doc ~man)
     Term.(
       const run $ static_arg $ faults_arg $ json_arg $ budget_arg $ min_schedules_arg
-      $ sanitize_arg $ paths_arg)
+      $ sanitize_arg $ races_arg $ paths_arg)
 
 let () = exit (Cmd.eval' cmd)

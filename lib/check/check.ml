@@ -23,11 +23,15 @@ type exploration = {
   x_outcome : Ntcs_sim.Explore.outcome;
 }
 
-let explore_all ?max_schedules ?(sanitize = false) () =
-  Check_scenarios.sanitize := sanitize;
+let mode ~sanitize ~races =
+  { Check_scenarios.m_sanitize = sanitize; m_races = races }
+
+let explore_all ?max_schedules ?(sanitize = false) ?(races = false) () =
+  let mode = mode ~sanitize ~races in
   List.map
     (fun sc ->
-      { x_scenario = sc.Check_scenarios.sc_name; x_outcome = Check_scenarios.explore ?max_schedules sc })
+      { x_scenario = sc.Check_scenarios.sc_name;
+        x_outcome = Check_scenarios.explore ?max_schedules ~mode sc })
     Check_scenarios.all
 
 let exploration_failed x =
@@ -41,11 +45,12 @@ let exploration_failed x =
    at least [min_schedules] schedules ran, and none of them produced a
    violation. *)
 
-let explore_faults ?max_schedules ?(sanitize = false) () =
-  Check_scenarios.sanitize := sanitize;
+let explore_faults ?max_schedules ?(sanitize = false) ?(races = false) () =
+  let mode = mode ~sanitize ~races in
   List.map
     (fun sc ->
-      { x_scenario = sc.Check_scenarios.sc_name; x_outcome = Check_scenarios.explore ?max_schedules sc })
+      { x_scenario = sc.Check_scenarios.sc_name;
+        x_outcome = Check_scenarios.explore ?max_schedules ~mode sc })
     Check_scenarios.faults
 
 let fault_exploration_failed ?(min_schedules = 100) x =

@@ -14,17 +14,19 @@ type exploration = {
   x_outcome : Ntcs_sim.Explore.outcome;
 }
 
-val explore_all : ?max_schedules:int -> ?sanitize:bool -> unit -> exploration list
+val explore_all :
+  ?max_schedules:int -> ?sanitize:bool -> ?races:bool -> unit -> exploration list
 (** Run every bounded scenario under exhaustive exploration. [sanitize]
-    arms the pool sanitizer on every scenario world (see
-    {!Check_scenarios.sanitize}); default off. *)
+    arms the pool sanitizer, [races] the happens-before race checker, on
+    every scenario world (see {!Check_scenarios.mode}); both default off. *)
 
 val exploration_failed : exploration -> bool
 (** Truncated (budget exhausted) or any schedule violated an invariant. *)
 
-val explore_faults : ?max_schedules:int -> ?sanitize:bool -> unit -> exploration list
+val explore_faults :
+  ?max_schedules:int -> ?sanitize:bool -> ?races:bool -> unit -> exploration list
 (** Run the {!Check_scenarios.faults} soaks under a schedule budget,
-    optionally with the pool sanitizer armed. *)
+    optionally with the pool sanitizer and/or race checker armed. *)
 
 val fault_exploration_failed : ?min_schedules:int -> exploration -> bool
 (** The soak contract: any violation fails; truncation is acceptable but

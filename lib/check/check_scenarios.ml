@@ -29,8 +29,17 @@ type scenario = {
          contain the whole exchange under test, so every interleaving of
          the interesting events is still covered while the tree stays
          finite. *)
-  sc_make : unit -> Ntcs_sim.Sched.t * (unit -> string list);
+  sc_make : mode -> Ntcs_sim.Sched.t * (unit -> string list);
 }
+
+(* Optional instrumentation, threaded explicitly through every scenario
+   build (a module-level flag here would itself be ambient shared state —
+   exactly what R8 forbids). [m_sanitize] arms the PR 6 pool sanitizer;
+   [m_races] arms the happens-before race checker. Both off by default so
+   `@faults` traces stay byte-identical with the seed. *)
+and mode = { m_sanitize : bool; m_races : bool }
+
+let mode_default = { m_sanitize = false; m_races = false }
 
 let payload s = Ntcs_wire.Convert.payload_raw (Bytes.of_string s)
 
@@ -54,22 +63,22 @@ let spawn_echo c ~machine ~name errs =
            in
            loop ()))
 
-(* Pool-sanitizer soak mode (`ntcs_check --sanitize` / `@sanitize`): every
-   scenario arms the buffer-pool sanitizer right after building its world —
-   before any traffic — and fails the schedule on any aliasing violation
-   (poison, double release, foreign release, rejected release). Leaks are
-   *reported* (as pool.sanitizer.leak trace events) but are not failures:
-   when virtual time stops, crashed machines and undrained in-flight
-   segments legitimately still hold buffers. Off by default so `@faults`
-   traces stay byte-identical with the seed. *)
-let sanitize = ref false
-
-let built c =
-  if !sanitize then Ntcs_sim.World.arm_pool_sanitizer (Cluster.world c);
+(* Arm whatever the mode asks for right after the world is built — before
+   any traffic, so the sanitizer sees every hand-out and the race checker
+   sees every push from the first event on. *)
+let built mode c =
+  if mode.m_sanitize then Ntcs_sim.World.arm_pool_sanitizer (Cluster.world c);
+  if mode.m_races then ignore (Check_race.arm (Cluster.world c));
   c
 
-let sanitizer_violations c =
-  if not !sanitize then []
+(* Pool-sanitizer soak mode (`ntcs_check --sanitize` / `@sanitize`): fail
+   the schedule on any aliasing violation (poison, double release, foreign
+   release, rejected release). Leaks are *reported* (as
+   pool.sanitizer.leak trace events) but are not failures: when virtual
+   time stops, crashed machines and undrained in-flight segments
+   legitimately still hold buffers. *)
+let sanitizer_violations mode c =
+  if not mode.m_sanitize then []
   else begin
     ignore (Ntcs_sim.World.pool_leak_check (Cluster.world c));
     List.concat_map
@@ -84,8 +93,20 @@ let sanitizer_violations c =
       ]
   end
 
+(* Race soak mode (`ntcs_check --races` / `@race`): any conflicting access
+   pair the happens-before checker could not order fails the schedule. The
+   checker already deduplicates (one finding per cell/owner/kind pattern)
+   and emits each as a race.conflict trace event, so the trace is the
+   report. *)
+let race_violations mode c =
+  if not mode.m_races then []
+  else
+    List.map
+      (fun (e : Ntcs_sim.Trace.entry) -> Printf.sprintf "race: %s" e.detail)
+      (Ntcs_sim.Trace.matching (Ntcs_sim.World.trace (Cluster.world c)) ~cat:"race.conflict")
+
 (* Everything checkable after a schedule ran. *)
-let trace_violations ?recursion_limit c =
+let trace_violations ?recursion_limit mode c =
   let entries = Ntcs_sim.Trace.entries (Ntcs_sim.World.trace (Cluster.world c)) in
   let r3 =
     List.map
@@ -107,13 +128,13 @@ let trace_violations ?recursion_limit c =
       (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
       (Check_spans.check (Ntcs_obs.Registry.spans (Cluster.metrics c)))
   in
-  r3 @ lifecycle @ crashes @ spans @ sanitizer_violations c
+  r3 @ lifecycle @ crashes @ spans @ sanitizer_violations mode c @ race_violations mode c
 
 (* §6.1 first send, across a gateway: NS on the LAN, service on the ring.
    Every schedule must deliver the echo and keep every circuit lifecycle
    legal. *)
 let first_send =
-  let make () =
+  let make mode =
     let c =
       Cluster.build
         ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan); ("ring", Ntcs_sim.Net.Mbx_ring) ]
@@ -125,7 +146,7 @@ let first_send =
           ]
         ~gateways:[ ("bridge-gw", "bridge", [ "ether"; "ring" ]) ]
         ~ns:"vax1" ()
-      |> built
+      |> built mode
     in
     let errs = ref [] in
     let body () =
@@ -152,7 +173,7 @@ let first_send =
         | `Err e -> [ Printf.sprintf "first send failed: %s" e ]
         | `Not_run -> [ "app never completed" ]
       in
-      !errs @ outcome_errs @ trace_violations c
+      !errs @ outcome_errs @ trace_violations mode c
     in
     (Cluster.sched c, body)
   in
@@ -164,7 +185,7 @@ let first_send =
    away mid-run; a fresh lookup must fail cleanly — bounded recursion, no
    crash — on every interleaving of the teardown. *)
 let break_ns =
-  let make () =
+  let make mode =
     let tweak cfg = { cfg with Node.ns_fault_guard = true; recursion_limit = 40 } in
     let c =
       Cluster.build ~tweak
@@ -176,7 +197,7 @@ let break_ns =
             ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
           ]
         ~ns:"vax1" ()
-      |> built
+      |> built mode
     in
     let errs = ref [] in
     let body () =
@@ -213,7 +234,7 @@ let break_ns =
         if Ntcs_util.Metrics.get (Cluster.metrics c) "lcm.ns_guard_hits" > 0 then []
         else [ "guard never engaged" ]
       in
-      !errs @ outcome_errs @ guard_errs @ trace_violations ~recursion_limit:40 c
+      !errs @ outcome_errs @ guard_errs @ trace_violations ~recursion_limit:40 mode c
     in
     (Cluster.sched c, body)
   in
@@ -234,15 +255,15 @@ let break_ns =
 (* Trace checks for runs where divergence — and with it a simulated process
    crash — is the *expected* outcome: R3 minus the recursion bound, plus
    the lifecycle automaton. *)
-let trace_violations_crashes_expected c =
+let trace_violations_crashes_expected mode c =
   let entries = Ntcs_sim.Trace.entries (Ntcs_sim.World.trace (Cluster.world c)) in
   List.map
     (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
     (Lint_trace.check_all entries @ Check_lifecycle.check entries
     @ Check_spans.check (Ntcs_obs.Registry.spans (Cluster.metrics c)))
-  @ sanitizer_violations c
+  @ sanitizer_violations mode c @ race_violations mode c
 
-let lan3 ?tweak () =
+let lan3 ?tweak mode =
   Cluster.build ?tweak
     ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
     ~machines:
@@ -252,7 +273,7 @@ let lan3 ?tweak () =
         ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
       ]
     ~ns:"vax1" ()
-  |> built
+  |> built mode
 
 (* App body shared by the recovery soaks: locate [svc], prove the path works
    once, then — after the faults have begun — keep sending until an echo
@@ -305,8 +326,8 @@ let metric_at_least c name n msg =
    measure), then heal. The app must ride out the outage on the LCM retry
    policy and converge after the heal — on every interleaving. *)
 let fault_partition_heal =
-  let make () =
-    let c = lan3 () in
+  let make mode =
+    let c = lan3 mode in
     Ntcs_sim.World.install_faults (Cluster.world c)
       (Ntcs_sim.Faults.create
          ~rules:
@@ -331,7 +352,7 @@ let fault_partition_heal =
       !errs @ chaser_errs ~text:"heal" outcome
       @ metric_at_least c "fault.blocked_frames" 1 "partition never blocked a frame"
       @ metric_at_least c "lcm.retries" 1 "recovery never engaged the retry policy"
-      @ trace_violations c
+      @ trace_violations mode c
     in
     (Cluster.sched c, body)
   in
@@ -344,8 +365,8 @@ let fault_partition_heal =
    oracle ("map the old UAdd to its name, and then look for a similar name
    in a newer module") on every interleaving. *)
 let fault_crash_restart =
-  let make () =
-    let c = lan3 () in
+  let make mode =
+    let c = lan3 mode in
     Ntcs_sim.World.install_faults (Cluster.world c)
       (Ntcs_sim.Faults.create
          ~schedule:
@@ -367,7 +388,7 @@ let fault_crash_restart =
       Cluster.settle ~dt:45_000_000 c;
       !errs @ chaser_errs ~text:"gen2" outcome
       @ metric_at_least c "lcm.relocations" 1 "stale address never healed through the oracle"
-      @ trace_violations c
+      @ trace_violations mode c
     in
     (Cluster.sched c, body)
   in
@@ -379,9 +400,9 @@ let fault_crash_restart =
    the test driver). Guard off: the paper's divergence — recursion through
    the NSP layer "until either the stack overflows, or the connection can
    be reestablished" — must reproduce deterministically on every schedule. *)
-let ns_partition_make ~guard ~seed () =
+let ns_partition_make ~guard ~seed mode =
   let tweak cfg = { cfg with Node.ns_fault_guard = guard; recursion_limit = 40 } in
-  let c = lan3 ~tweak () in
+  let c = lan3 ~tweak mode in
   Ntcs_sim.World.install_faults (Cluster.world c)
     (Ntcs_sim.Faults.create
        ~schedule:[ (6_000_000, Ntcs_sim.Faults.Partition [ [ "vax1" ]; [ "sun1"; "sun2" ] ]) ]
@@ -410,8 +431,8 @@ let ns_partition_make ~guard ~seed () =
   (c, errs, outcome, body_common)
 
 let fault_ns_partition_guard =
-  let make () =
-    let c, errs, outcome, body_common = ns_partition_make ~guard:true ~seed:0xFA13 () in
+  let make mode =
+    let c, errs, outcome, body_common = ns_partition_make ~guard:true ~seed:0xFA13 mode in
     let body () =
       body_common ();
       let outcome_errs =
@@ -427,15 +448,15 @@ let fault_ns_partition_guard =
       in
       !errs @ outcome_errs
       @ metric_at_least c "lcm.ns_guard_hits" 1 "guard never engaged"
-      @ trace_violations ~recursion_limit:40 c
+      @ trace_violations ~recursion_limit:40 mode c
     in
     (Cluster.sched c, body)
   in
   { sc_name = "fault-ns-partition-guard"; sc_from = 4_000_000; sc_until = 64_000_000; sc_make = make }
 
 let fault_ns_partition_noguard =
-  let make () =
-    let c, errs, outcome, body_common = ns_partition_make ~guard:false ~seed:0xFA14 () in
+  let make mode =
+    let c, errs, outcome, body_common = ns_partition_make ~guard:false ~seed:0xFA14 mode in
     let body () =
       body_common ();
       let crashes =
@@ -461,7 +482,7 @@ let fault_ns_partition_noguard =
         if Ntcs_util.Metrics.get (Cluster.metrics c) "lcm.ns_guard_hits" = 0 then []
         else [ "guard engaged with ns_fault_guard=false" ]
       in
-      !errs @ divergence_errs @ guard_errs @ trace_violations_crashes_expected c
+      !errs @ divergence_errs @ guard_errs @ trace_violations_crashes_expected mode c
     in
     (Cluster.sched c, body)
   in
@@ -482,7 +503,8 @@ let faults =
     fault_ns_partition_noguard;
   ]
 
-let explore ?max_schedules sc =
+let explore ?max_schedules ?(mode = mode_default) sc =
   Ntcs_sim.Explore.run ?max_schedules
     ~branch:(fun ~time ~owners:_ -> time >= sc.sc_from && time < sc.sc_until)
-    ~make:sc.sc_make ()
+    ~make:(fun () -> sc.sc_make mode)
+    ()

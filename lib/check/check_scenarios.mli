@@ -10,17 +10,27 @@ type scenario = {
       (** ties inside [[sc_from, sc_until)] are branched on; the boot
           before and the steady-state maintenance after run in default
           order *)
-  sc_make : unit -> Ntcs_sim.Sched.t * (unit -> string list);
+  sc_make : mode -> Ntcs_sim.Sched.t * (unit -> string list);
 }
 
-val sanitize : bool ref
-(** When set, every scenario arms the buffer-pool sanitizer on its world
-    (before traffic) and counts aliasing violations — poison hits, double
-    and foreign releases, rejected releases — as schedule failures; leaks
-    at teardown are reported as [pool.sanitizer.leak] trace events but not
-    failed on (stopped virtual time legitimately strands in-flight
-    buffers). Off by default, keeping soak traces byte-identical with the
-    seed. *)
+(** Optional instrumentation, armed on the scenario's world right after it
+    is built (before any traffic) and threaded explicitly — a module-level
+    flag would itself be the ambient shared state rule R8 forbids.
+
+    [m_sanitize]: the buffer-pool sanitizer; aliasing violations — poison
+    hits, double and foreign releases, rejected releases — fail the
+    schedule, leaks at teardown are reported as [pool.sanitizer.leak]
+    trace events but not failed on (stopped virtual time legitimately
+    strands in-flight buffers).
+
+    [m_races]: the happens-before checker ({!Check_race}); any
+    [race.conflict] it reports fails the schedule.
+
+    Both off in {!mode_default}, keeping soak traces byte-identical with
+    the seed. *)
+and mode = { m_sanitize : bool; m_races : bool }
+
+val mode_default : mode
 
 val first_send : scenario
 (** §6.1 first send across a prime gateway (chained open + splice). *)
@@ -60,4 +70,6 @@ val fault_ns_partition_noguard : scenario
 
 val faults : scenario list
 
-val explore : ?max_schedules:int -> scenario -> Ntcs_sim.Explore.outcome
+val explore : ?max_schedules:int -> ?mode:mode -> scenario -> Ntcs_sim.Explore.outcome
+(** Explore the scenario's schedule tree (see {!Ntcs_sim.Explore.run});
+    [mode] defaults to {!mode_default} — everything disarmed. *)

@@ -30,11 +30,19 @@ let check_source ?(summaries = []) src =
 let lint_file file = check_source (Lint_lex.load file)
 
 (* Tree-level pass: load everything once, give R6/R7 the cross-file
-   function summaries (one interprocedural level), then check each file. *)
-let lint_paths paths =
+   function summaries (one interprocedural level) and run R8 over the
+   whole set (it needs the module-reference graph), then check each file.
+   [graph] lets the caller substitute resolved reference edges — the
+   ntcs_lint driver passes Check_graph's hook-aware graph. *)
+let lint_paths ?graph paths =
   let sources = List.map Lint_lex.load (source_files paths) in
   let summaries = List.concat_map Lint_ownership.summarize sources in
-  Lint_diag.sort (List.concat_map (check_source ~summaries) sources)
+  Lint_diag.sort
+    (List.concat_map (check_source ~summaries) sources @ Lint_domsafe.check ?graph sources)
+
+(* The R8 shared-state inventory (`ntcs_lint --ownership-map`). *)
+let ownership_map ?graph paths =
+  Lint_domsafe.inventory ?graph (List.map Lint_lex.load (source_files paths))
 
 let report ppf diags =
   List.iter (fun d -> Format.fprintf ppf "%a@." Lint_diag.pp d) diags

@@ -14,10 +14,17 @@ val check_source : ?summaries:Lint_ownership.summary list -> Lint_lex.source -> 
 
 val lint_file : string -> Lint_diag.t list
 
-val lint_paths : string list -> Lint_diag.t list
+val lint_paths : ?graph:(string * string) list -> string list -> Lint_diag.t list
 (** Tree-level run: computes ownership summaries over the whole tree
-    first, so R6/R7 classify cross-file helper calls, then checks every
-    file. *)
+    first, so R6/R7 classify cross-file helper calls, runs R8 over the
+    whole set, then checks every file. [graph] substitutes resolved
+    (referrer, referee) module edges for R8 reachability (the ntcs_lint
+    driver passes the hook-aware [Check_graph] edges); default is the
+    lexical module-reference graph. *)
+
+val ownership_map : ?graph:(string * string) list -> string list -> Lint_domsafe.entry list
+(** The R8 shared-state inventory over the given paths
+    ([ntcs_lint --ownership-map]). *)
 
 val report : Format.formatter -> Lint_diag.t list -> unit
 (** One [file:line: [rule] message] per line. *)

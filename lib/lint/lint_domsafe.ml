@@ -1,0 +1,337 @@
+(* R8 [domsafe]: the shared-state ownership map, and the rule that keeps
+   it honest. Static half of the domain-safety pass (dynamic half:
+   Check_race in the check library).
+
+   The ROADMAP-2 refactor — one OCaml 5 domain per machine group, worlds
+   advancing through virtual-time barriers — is only safe if every piece
+   of mutable state has a known owner. This pass classifies every
+   module-level mutable binding in the tree:
+
+   - a [let] at module scope whose right-hand side allocates a [ref], a
+     table ([Hashtbl]/[Tbl]/[Lru]), a [Pool], a queue, … is
+     *ambient-global*: one instance shared by every domain. If any
+     per-machine code (lib/core, lib/ipcs, lib/drts, lib/ursa) can reach
+     the module holding it — directly or transitively through the
+     resolved reference graph — that is an R8 violation: the refactor
+     cannot shard it. Sanctioned globals carry a reasoned pragma:
+     [lint: allow domsafe(<name>) — <reason>].
+
+   - a [mutable] record field is owned by whoever holds the record
+     instance: *machine-local* when the record is declared in per-machine
+     code, *world-local* otherwise. Fields are inventory, not violations
+     — they are exactly the state the refactor will thread through
+     domains, and `ntcs_lint --ownership-map` emits them all as the
+     refactor's work list.
+
+   Like every rule here this is lexical, over blanked text: module level
+   means column zero, and a [let] with parameters is a function (its
+   allocations are per-call, not ambient). *)
+
+type scope = Binding | Field
+type cls = World_local | Machine_local | Ambient_global
+
+type entry = {
+  d_file : string;
+  d_line : int;  (* the allocating line (binding) / the field's line *)
+  d_module : string;
+  d_name : string;  (* binding name, or [type.field] *)
+  d_ctor : string;  (* which mutable constructor, or ["mutable"] *)
+  d_scope : scope;
+  d_class : cls;
+  d_reachable : bool;  (* can per-machine code reach the holder module? *)
+  d_waived : string option;  (* reason of the covering pragma, if any *)
+}
+
+let scope_name = function Binding -> "binding" | Field -> "field"
+
+let class_name = function
+  | World_local -> "world-local"
+  | Machine_local -> "machine-local"
+  | Ambient_global -> "ambient-global"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || c = '_'
+
+(* Word-bounded occurrences of [tok] in [line] (same bounds as
+   {!Lint_lex.line_has_token}), as start offsets. *)
+let token_positions line tok =
+  let n = String.length line and m = String.length tok in
+  let ok_before i =
+    i = 0 || (let c = line.[i - 1] in (not (Lint_lex.is_ident_char c)) && c <> '.')
+  in
+  let ok_after i = i + m >= n || not (Lint_lex.is_ident_char line.[i + m]) in
+  let rec go i acc =
+    if i + m > n then List.rev acc
+    else if String.sub line i m = tok && ok_before i && ok_after i then
+      go (i + m) (i :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
+(* First identifier starting at or after [i]. *)
+let ident_after line i =
+  let n = String.length line in
+  let rec start i = if i >= n then None else if is_ident_start line.[i] then Some i else start (i + 1) in
+  match start i with
+  | None -> None
+  | Some s ->
+    let rec stop j = if j < n && Lint_lex.is_ident_char line.[j] then stop (j + 1) else j in
+    Some (String.sub line s (stop s - s))
+
+(* ----- toplevel items ----- *)
+
+(* Split the blanked text into toplevel items: an item starts on a line
+   whose first character is non-blank (comments are already spaces). *)
+let toplevel_items blank =
+  let lines = Array.of_list (Lint_lex.lines blank) in
+  let items = ref [] and cur = ref [] and cur_start = ref 0 in
+  let flush () =
+    if !cur <> [] then items := (!cur_start, List.rev !cur) :: !items;
+    cur := []
+  in
+  Array.iteri
+    (fun i line ->
+      let starts = line <> "" && line.[0] <> ' ' && line.[0] <> '\t' in
+      if starts then begin
+        flush ();
+        cur_start := i + 1
+      end;
+      if !cur <> [] || starts then cur := line :: !cur)
+    lines;
+  flush ();
+  List.rev !items
+
+(* A module-level value binding: [let x =], [let rec x =], [let x : t =].
+   Anything between the name and the [=] other than a type annotation
+   means parameters — a function, out of scope for R8. *)
+let binding_head item_text =
+  let strip_prefix p s =
+    let lp = String.length p in
+    if String.length s >= lp && String.sub s 0 lp = p then Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  let rest =
+    match strip_prefix "let rec " item_text with
+    | Some r -> Some r
+    | None -> strip_prefix "let " item_text
+  in
+  match rest with
+  | None -> None
+  | Some r -> (
+    let r = String.trim r in
+    match ident_after r 0 with
+    | Some name when r <> "" && is_ident_start r.[0] -> (
+      match String.index_opt r '=' with
+      | None -> None
+      | Some eq ->
+        let between = String.trim (String.sub r (String.length name) (eq - String.length name)) in
+        if between = "" || between.[0] = ':' then Some (name, eq) else None)
+    | _ -> None)
+
+(* ----- reachability over the module-reference graph ----- *)
+
+let reachable_modules ~graph ~roots =
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun (src, dst) ->
+      let l = match Hashtbl.find_opt adj src with Some l -> l | None -> [] in
+      Hashtbl.replace adj src (dst :: l))
+    graph;
+  let seen = Hashtbl.create 64 in
+  let rec visit m =
+    if not (Hashtbl.mem seen m) then begin
+      Hashtbl.replace seen m ();
+      List.iter visit (match Hashtbl.find_opt adj m with Some l -> l | None -> [])
+    end
+  in
+  List.iter visit roots;
+  seen
+
+(* ----- the inventory ----- *)
+
+let find_waiver pragmas ~name ~line =
+  List.find_map
+    (fun (p : Lint_lex.pragma) ->
+      if
+        p.p_rule = "domsafe"
+        && (match p.p_arg with None -> true | Some a -> a = name)
+        && (p.p_file_scope || line = p.p_line || line = p.p_line + 1)
+      then Some p.p_reason
+      else None)
+    pragmas
+
+let bindings_of_source (src : Lint_lex.source) =
+  let pragmas, _ = Lint_lex.pragmas src in
+  List.concat_map
+    (fun (start_line, lines) ->
+      let text = String.concat " " lines in
+      match binding_head text with
+      | None -> []
+      | Some (name, _) ->
+        (* Find the first mutable-constructor token in the binding's head
+           expression — past the [=], before any nested [let]/[fun] (what
+           a closure allocates is per-call, not ambient). The ctor's line
+           is the diagnostic anchor. [text] joins the item's lines with
+           single spaces in order, so line i starts at the sum of the
+           earlier lines' lengths plus i separators. *)
+        let eq_global =
+          match String.index_opt text '=' with Some i -> i | None -> 0
+        in
+        let stop_global =
+          List.fold_left
+            (fun acc tok ->
+              List.fold_left
+                (fun acc pos -> if pos > eq_global then min acc pos else acc)
+                acc (token_positions text tok))
+            max_int [ "let"; "fun"; "function" ]
+        in
+        let hit = ref None in
+        let offset = ref 0 in
+        List.iteri
+          (fun i line ->
+            List.iter
+              (fun ctor ->
+                List.iter
+                  (fun pos ->
+                    let global = !offset + pos in
+                    if global > eq_global && global < stop_global && !hit = None
+                    then hit := Some (start_line + i, ctor))
+                  (token_positions line ctor))
+              Lint_rules.mutable_ctors;
+            offset := !offset + String.length line + 1)
+          lines;
+        (match !hit with
+         | None -> []
+         | Some (line, ctor) ->
+           [ (name, line, ctor, find_waiver pragmas ~name ~line) ]))
+    (toplevel_items src.src_blank)
+
+let fields_of_source (src : Lint_lex.source) =
+  let current_type = ref "t" in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         (match token_positions line "type" with
+          | pos :: _ -> (
+            (* [type 'a mb = …]: skip parameters, take the constructor. *)
+            let rec skip_params j =
+              let n = String.length line in
+              let rec sp j = if j < n && line.[j] = ' ' then sp (j + 1) else j in
+              let j = sp j in
+              if j < n && (line.[j] = '\'' || line.[j] = '(') then
+                let rec tok j = if j < n && line.[j] <> ' ' then tok (j + 1) else j in
+                skip_params (tok j)
+              else j
+            in
+            match ident_after line (skip_params (pos + 4)) with
+            | Some "nonrec" | None -> ()
+            | Some name -> current_type := name)
+          | [] -> ());
+         List.filter_map
+           (fun pos ->
+             match ident_after line (pos + 7) with
+             | Some field -> Some (i + 1, Printf.sprintf "%s.%s" !current_type field)
+             | None -> None)
+           (token_positions line "mutable"))
+       (Lint_lex.lines src.src_blank))
+
+let default_graph srcs =
+  List.concat_map
+    (fun (src : Lint_lex.source) ->
+      let m = Lint_rules.module_of_file src.src_file in
+      List.map (fun (_, dst) -> (m, dst)) (Lint_lex.module_refs src))
+    srcs
+
+let inventory ?graph srcs =
+  (* Interfaces restate the implementation's fields; inventory the .ml. *)
+  let mls =
+    List.filter
+      (fun (s : Lint_lex.source) -> not (Filename.check_suffix s.src_file ".mli"))
+      srcs
+  in
+  let graph = match graph with Some g -> g | None -> default_graph mls in
+  let roots =
+    List.filter_map
+      (fun (s : Lint_lex.source) ->
+        if Lint_rules.machine_path s.src_file then
+          Some (Lint_rules.module_of_file s.src_file)
+        else None)
+      mls
+    @ List.filter_map
+        (fun (m, _) -> if Lint_rules.rank_of m <> None then Some m else None)
+        graph
+  in
+  let reach = reachable_modules ~graph ~roots in
+  List.concat_map
+    (fun (src : Lint_lex.source) ->
+      let m = Lint_rules.module_of_file src.src_file in
+      let reachable = Hashtbl.mem reach m in
+      let bindings =
+        List.map
+          (fun (name, line, ctor, waived) ->
+            { d_file = src.src_file; d_line = line; d_module = m; d_name = name;
+              d_ctor = ctor; d_scope = Binding; d_class = Ambient_global;
+              d_reachable = reachable; d_waived = waived })
+          (bindings_of_source src)
+      in
+      let fields =
+        List.map
+          (fun (line, name) ->
+            let cls =
+              match Lint_rules.field_scope src.src_file with
+              | `Machine_local -> Machine_local
+              | `World_local -> World_local
+            in
+            { d_file = src.src_file; d_line = line; d_module = m; d_name = name;
+              d_ctor = "mutable"; d_scope = Field; d_class = cls;
+              d_reachable = reachable; d_waived = None })
+          (fields_of_source src)
+      in
+      bindings @ fields)
+    mls
+
+let check ?graph srcs =
+  List.filter_map
+    (fun e ->
+      if e.d_scope = Binding && e.d_reachable && e.d_waived = None then
+        Some
+          (Lint_diag.make ~file:e.d_file ~line:e.d_line ~rule:"domsafe"
+             (Printf.sprintf
+                "module-level mutable binding '%s' (%s) is ambient-global and \
+                 reachable from per-machine code; move it into World/Node \
+                 state or add `lint: allow domsafe(%s)` with the migration \
+                 story"
+                e.d_name e.d_ctor e.d_name))
+      else None)
+    (inventory ?graph srcs)
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%s:%d: %s %s.%s (%s) %s%s%s" e.d_file e.d_line (scope_name e.d_scope)
+    e.d_module e.d_name e.d_ctor (class_name e.d_class)
+    (if e.d_reachable then " reachable" else "")
+    (match e.d_waived with Some r -> " waived: " ^ r | None -> "")
+
+let map_to_json entries =
+  let one e =
+    Printf.sprintf
+      "{\"file\":\"%s\",\"line\":%d,\"module\":\"%s\",\"name\":\"%s\",\
+       \"ctor\":\"%s\",\"scope\":\"%s\",\"class\":\"%s\",\"reachable\":%b,\
+       \"waived\":%s}"
+      (Lint_diag.json_escape e.d_file) e.d_line
+      (Lint_diag.json_escape e.d_module)
+      (Lint_diag.json_escape e.d_name)
+      (Lint_diag.json_escape e.d_ctor) (scope_name e.d_scope)
+      (class_name e.d_class) e.d_reachable
+      (match e.d_waived with
+       | Some r -> "\"" ^ Lint_diag.json_escape r ^ "\""
+       | None -> "null")
+  in
+  let entries =
+    List.sort
+      (fun a b ->
+        match String.compare a.d_file b.d_file with
+        | 0 -> compare (a.d_line, a.d_name) (b.d_line, b.d_name)
+        | c -> c)
+      entries
+  in
+  Printf.sprintf "{\"schema\":\"ntcs.lint.ownership-map/1\",\"entries\":[%s]}"
+    (String.concat "," (List.map one entries))

@@ -56,6 +56,20 @@ val escape_sinks : string list
 val may_manage_buffers : string -> bool
 (** Is this file the pool implementation itself (exempt from R6/R7)? *)
 
+val mutable_ctors : string list
+(** Constructors whose result, bound by a module-level [let], is ambient
+    mutable state (R8): [ref], the table/pool/queue makers, … *)
+
+val machine_path : string -> bool
+(** Is this file per-machine code (lib/core, lib/ipcs, lib/drts,
+    lib/ursa) — a domain work item under parallel-world execution? An
+    ambient global is an R8 violation exactly when reachable from here. *)
+
+val field_scope : string -> [ `Machine_local | `World_local ]
+(** Ownership class of a mutable record field declared in this file:
+    instances of per-machine records belong to a machine's stack,
+    everything else to the world (or tool) holding the instance. *)
+
 type det_rule = { d_pat : string; d_why : string; d_everywhere : bool }
 
 val det_rules : det_rule list

@@ -78,6 +78,8 @@ let all =
     ("pool.sanitizer.double_release", "sanitizer: a buffer was released twice");
     ("pool.sanitizer.foreign_release", "sanitizer: a released buffer was never handed out");
     ("pool.sanitizer.leak", "sanitizer: a buffer was still outstanding at world teardown");
+    (* Race checker: happens-before conflicts on registered shared cells. *)
+    ("race.conflict", "race checker: conflicting accesses to a shared cell unordered by happens-before");
     (* Simulator. *)
     ("sim.crash", "machine crashed");
     ("sim.proc_crash", "process died with an exception");

@@ -31,6 +31,24 @@ type resume_kind =
   | Resume_value
   | Resume_exn of exn
 
+type cell_policy =
+  | Exclusive
+  | Waived of string
+
+type cell = { c_name : string; c_policy : cell_policy }
+
+(* The domain-safety monitor (see Check_race): armed, it receives every
+   event push (with the pusher's identity), every event execution, and
+   every access to a registered shared cell. Off by default; each hook
+   site costs one option match when disarmed. *)
+type monitor = {
+  m_push : pusher:int -> owner:int -> int;
+      (** Called at push time; returns a tag stored in the event. *)
+  m_exec : tag:int -> owner:int -> time:int -> unit;
+      (** Called just before the event's thunk runs. *)
+  m_access : cell -> owner:int -> write:bool -> time:int -> unit;
+}
+
 type t = {
   mutable now : int; (* virtual microseconds *)
   mutable next_seq : int;
@@ -43,15 +61,18 @@ type t = {
   mutable max_events : int; (* 0 = unlimited *)
   mutable exec_owner : int; (* owner of the event whose thunk is running *)
   mutable chooser : (time:int -> owners:int array -> int) option;
+  mutable monitor : monitor option;
+  mutable cells : cell list; (* registered shared cells, newest first *)
 }
 
-and event = { time : int; seq : int; owner : int; thunk : unit -> unit }
+and event = { time : int; seq : int; owner : int; tag : int; thunk : unit -> unit }
 
 and proc = {
   pid : pid;
   proc_name : string;
   sched : t;
   mutable state : proc_state;
+  mutable susp_seq : int; (* per-proc suspension counter (no ambient state) *)
   mutable on_exit : (exit_status -> unit) list;
   mutable exit_status : exit_status option;
 }
@@ -85,6 +106,8 @@ let create () =
     max_events = 0;
     exec_owner = 0;
     chooser = None;
+    monitor = None;
+    cells = [];
   }
 
 let now t = t.now
@@ -92,6 +115,35 @@ let now t = t.now
 let set_event_limit t n = t.max_events <- n
 
 let set_chooser t f = t.chooser <- f
+
+(* --- domain-safety monitor hooks --- *)
+
+let set_monitor t m = t.monitor <- m
+
+let monitoring t = t.monitor <> None
+
+(* Registering a cell declares a piece of world-shared mutable state to the
+   race checker; [access] reports each read/write of it, attributed to the
+   process whose event is executing (owner 0 = the coordinator: world
+   setup, fault schedule, test driver). Both are no-ops while no monitor
+   is armed. *)
+let register_cell t ~name ~policy =
+  let cell = { c_name = name; c_policy = policy } in
+  t.cells <- cell :: t.cells;
+  cell
+
+let cells t =
+  List.sort (fun a b -> String.compare a.c_name b.c_name) t.cells
+
+let current_owner t =
+  match t.current with
+  | Some p -> p.pid
+  | None -> t.exec_owner
+
+let access t cell ~write =
+  match t.monitor with
+  | None -> ()
+  | Some m -> m.m_access cell ~owner:(current_owner t) ~write ~time:t.now
 
 (* Every event is tagged with the pid of the process whose progress it
    represents: schedule-exploration (Explore) may reorder same-time events
@@ -104,15 +156,16 @@ let at_owned t ~owner time thunk =
   let time = if time < t.now then t.now else time in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Ntcs_util.Heap.push t.events { time; seq; owner; thunk }
+  let tag =
+    match t.monitor with
+    | None -> 0
+    | Some m -> m.m_push ~pusher:(current_owner t) ~owner
+  in
+  Ntcs_util.Heap.push t.events { time; seq; owner; tag; thunk }
 
-let at t time thunk =
-  let owner = match t.current with Some p -> p.pid | None -> t.exec_owner in
-  at_owned t ~owner time thunk
+let at t time thunk = at_owned t ~owner:(current_owner t) time thunk
 
 let after t delay thunk = at t (t.now + delay) thunk
-
-let susp_counter = ref 0
 
 let current_exn t =
   match t.current with
@@ -148,8 +201,11 @@ let handler proc =
         | Suspend register ->
           Some
             (fun (k : (a, unit) continuation) ->
-              incr susp_counter;
-              let susp_id = !susp_counter in
+              (* Suspension ids only disambiguate wakers of *this* proc, so a
+                 per-proc counter suffices — no ambient global to share
+                 across would-be domains. *)
+              proc.susp_seq <- proc.susp_seq + 1;
+              let susp_id = proc.susp_seq in
               proc.state <- Suspended { susp_id; k };
               proc.sched.current <- None;
               register { w_proc = proc; w_susp_id = susp_id })
@@ -189,7 +245,15 @@ let spawn ?(name = "proc") ?(at_time = -1) t f =
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
   let proc =
-    { pid; proc_name = name; sched = t; state = Embryo f; on_exit = []; exit_status = None }
+    {
+      pid;
+      proc_name = name;
+      sched = t;
+      state = Embryo f;
+      susp_seq = 0;
+      on_exit = [];
+      exit_status = None;
+    }
   in
   Hashtbl.replace t.procs pid proc;
   t.live_count <- t.live_count + 1;
@@ -212,6 +276,11 @@ let status t pid =
   match find_proc t pid with
   | None -> None
   | Some p -> p.exit_status
+
+let proc_name t pid =
+  match find_proc t pid with
+  | None -> None
+  | Some p -> Some p.proc_name
 
 let kill t pid =
   match find_proc t pid with
@@ -258,6 +327,9 @@ let exec_event t ev =
   t.now <- ev.time;
   t.event_count <- t.event_count + 1;
   if t.max_events > 0 && t.event_count > t.max_events then raise Event_limit_exceeded;
+  (match t.monitor with
+   | None -> ()
+   | Some m -> m.m_exec ~tag:ev.tag ~owner:ev.owner ~time:ev.time);
   let saved = t.exec_owner in
   t.exec_owner <- ev.owner;
   Fun.protect ~finally:(fun () -> t.exec_owner <- saved) ev.thunk

@@ -49,6 +49,54 @@ val set_chooser : t -> (time:int -> owners:int array -> int) option -> unit
     hold on every explored schedule. [None] (the default) restores the plain
     deterministic (time, seq) order. *)
 
+(** {1 Domain-safety monitor (see [Ntcs_check.Check_race])}
+
+    Shared mutable state that several would-be domains can reach is
+    declared as a {e cell}; when a monitor is armed, every event push,
+    every event execution and every access to a registered cell is
+    reported, which is exactly the information a vector-clock
+    happens-before checker needs. Everything here is a no-op while no
+    monitor is installed — the disarmed cost is one option match per
+    hook site. *)
+
+(** How the parallel-world refactor intends to protect a cell.
+    [Exclusive] state must only see happens-before-ordered conflicting
+    accesses; [Waived] state is sanctioned shared state whose migration
+    story is the reason string (the dynamic analogue of a reasoned lint
+    pragma) — conflicts on it are counted, not reported as races. *)
+type cell_policy =
+  | Exclusive
+  | Waived of string
+
+type cell = { c_name : string; c_policy : cell_policy }
+
+type monitor = {
+  m_push : pusher:int -> owner:int -> int;
+      (** Every event push: [pusher] is the owner of the event being
+          executed when the push happened (0 = coordinator), [owner] the
+          process whose progress the new event represents. Returns a tag
+          stored in the event and passed back to {!monitor.m_exec}. *)
+  m_exec : tag:int -> owner:int -> time:int -> unit;
+      (** Called immediately before an event's thunk runs. *)
+  m_access : cell -> owner:int -> write:bool -> time:int -> unit;
+      (** Called for every {!access} to a registered cell. *)
+}
+
+val register_cell : t -> name:string -> policy:cell_policy -> cell
+(** Declare a shared cell on this scheduler (world). Registration is
+    inventory, not instrumentation: the declaring module must also route
+    its reads/writes through {!access}. *)
+
+val cells : t -> cell list
+(** Every registered cell, sorted by name. *)
+
+val set_monitor : t -> monitor option -> unit
+val monitoring : t -> bool
+
+val access : t -> cell -> write:bool -> unit
+(** Report a read or write of [cell], attributed to the owner of the
+    currently executing event (0 = coordinator). No-op when disarmed. *)
+
 (** {1 Timers} *)
 
 val at : t -> int -> (unit -> unit) -> unit
@@ -70,6 +118,9 @@ val kill : t -> pid -> unit
 
 val alive : t -> pid -> bool
 val status : t -> pid -> exit_status option
+
+val proc_name : t -> pid -> string option
+(** Name a pid was spawned under, for diagnostics (races, deadlocks). *)
 
 val on_exit : t -> pid -> (exit_status -> unit) -> unit
 (** Run a hook when the process finishes; fires immediately if it already

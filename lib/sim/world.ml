@@ -17,12 +17,20 @@ type t = {
   mutable next_net_id : int;
   mutable seed : int;
   mutable faults : Faults.t option;
+  (* Declared shared cells (domain-safety): the world-level mutable state
+     every machine's stack can reach. The race checker (Check_race) arms a
+     monitor on the scheduler; until then each access note is one option
+     match. *)
+  c_topology : Sched.cell; (* machines/nets/attachments + up flags *)
+  c_procs : Sched.cell; (* pid -> machine table *)
+  c_faults : Sched.cell; (* fault-plane partition set + seeded draw state *)
 }
 
 let create ?(seed = 42) () =
   let metrics = Ntcs_util.Metrics.create () in
+  let sched = Sched.create () in
   {
-    sched = Sched.create ();
+    sched;
     metrics;
     trace = Trace.create ();
     rng = Ntcs_util.Rng.create seed;
@@ -35,10 +43,30 @@ let create ?(seed = 42) () =
     next_net_id = 1;
     seed;
     faults = None;
+    (* Topology is written only by the coordinator (setup, fault schedule,
+       test driver), so conflicting accesses must be barrier-ordered. The
+       proc table and the fault plane's seeded draw state are sanctioned
+       shared state with an explicit migration story (ROADMAP 2). *)
+    c_topology = Sched.register_cell sched ~name:"world.topology" ~policy:Sched.Exclusive;
+    c_procs =
+      Sched.register_cell sched ~name:"world.procs"
+        ~policy:
+          (Sched.Waived
+             "pid-keyed inserts are disjoint; parallel worlds shard the table per \
+              domain and merge at virtual-time barriers");
+    c_faults =
+      Sched.register_cell sched ~name:"world.faults"
+        ~policy:
+          (Sched.Waived
+             "seeded per-frame fault draws serialize on the coordinator until \
+              per-link rng streams land (ROADMAP 2)");
   }
 
 let sched t = t.sched
 let metrics t = t.metrics
+let cell_topology t = t.c_topology
+let cell_procs t = t.c_procs
+let cell_faults t = t.c_faults
 let trace t = t.trace
 let rng t = t.rng
 let pool t = t.pool
@@ -57,6 +85,7 @@ let span t ~ctx ~phase ~name ~actor detail =
     (Ntcs_obs.Span.event ~at_us:(now t) ~ctx ~phase ~name ~actor detail)
 
 let add_machine t ~name mtype ?(drift_ppm = 0.) ?(offset_us = 0) () =
+  Sched.access t.sched t.c_topology ~write:true;
   let id = t.next_machine_id in
   t.next_machine_id <- id + 1;
   let m = Machine.make ~id ~name ~mtype ~drift_ppm ~offset_us () in
@@ -64,27 +93,45 @@ let add_machine t ~name mtype ?(drift_ppm = 0.) ?(offset_us = 0) () =
   m
 
 let add_net t ~name kind ?latency () =
+  Sched.access t.sched t.c_topology ~write:true;
   let id = t.next_net_id in
   t.next_net_id <- id + 1;
   let n = Net.make ~id ~name ~kind ?latency ~seed:(t.seed * 31) () in
   Hashtbl.replace t.nets id n;
   n
 
-let machine t id = Hashtbl.find t.machines id
-let machine_opt t id = Hashtbl.find_opt t.machines id
-let net t id = Hashtbl.find t.nets id
-let net_opt t id = Hashtbl.find_opt t.nets id
+let machine t id =
+  Sched.access t.sched t.c_topology ~write:false;
+  Hashtbl.find t.machines id
 
-let attach t (m : Machine.t) (n : Net.t) = Hashtbl.replace t.attachments (m.id, n.id) ()
+let machine_opt t id =
+  Sched.access t.sched t.c_topology ~write:false;
+  Hashtbl.find_opt t.machines id
 
-let attached t mid nid = Hashtbl.mem t.attachments (mid, nid)
+let net t id =
+  Sched.access t.sched t.c_topology ~write:false;
+  Hashtbl.find t.nets id
+
+let net_opt t id =
+  Sched.access t.sched t.c_topology ~write:false;
+  Hashtbl.find_opt t.nets id
+
+let attach t (m : Machine.t) (n : Net.t) =
+  Sched.access t.sched t.c_topology ~write:true;
+  Hashtbl.replace t.attachments (m.id, n.id) ()
+
+let attached t mid nid =
+  Sched.access t.sched t.c_topology ~write:false;
+  Hashtbl.mem t.attachments (mid, nid)
 
 let nets_of_machine t mid =
+  Sched.access t.sched t.c_topology ~write:false;
   Ntcs_util.sorted_bindings t.attachments
   |> List.filter_map (fun ((m, n), ()) -> if m = mid then Some n else None)
   |> List.sort_uniq compare
 
 let machines_on t nid =
+  Sched.access t.sched t.c_topology ~write:false;
   Ntcs_util.sorted_bindings t.attachments
   |> List.filter_map (fun ((m, n), ()) -> if n = nid then Some m else None)
   |> List.sort_uniq compare
@@ -101,6 +148,7 @@ let all_nets t =
   |> List.sort (fun (a : Net.t) b -> compare a.id b.id)
 
 let spawn t ~machine:(m : Machine.t) ~name f =
+  Sched.access t.sched t.c_procs ~write:true;
   let pid = Sched.spawn ~name t.sched f in
   Hashtbl.replace t.proc_machine pid m.id;
   (* A crashing process would otherwise die silently; make it visible in the
@@ -113,18 +161,24 @@ let spawn t ~machine:(m : Machine.t) ~name f =
       | Sched.Exited | Sched.Was_killed -> ());
   pid
 
-let machine_of_proc t pid = Hashtbl.find_opt t.proc_machine pid
+let machine_of_proc t pid =
+  Sched.access t.sched t.c_procs ~write:false;
+  Hashtbl.find_opt t.proc_machine pid
 
 let procs_on_machine t mid =
+  Sched.access t.sched t.c_procs ~write:false;
   Ntcs_util.sorted_bindings t.proc_machine
   |> List.filter_map (fun (pid, m) -> if m = mid then Some pid else None)
 
 let crash_machine t (m : Machine.t) =
+  Sched.access t.sched t.c_topology ~write:true;
   m.up <- false;
   record t ~cat:"sim.crash" ~actor:m.name "machine crashed";
   List.iter (fun pid -> Sched.kill t.sched pid) (procs_on_machine t m.id)
 
-let restart_machine _t (m : Machine.t) = m.up <- true
+let restart_machine t (m : Machine.t) =
+  Sched.access t.sched t.c_topology ~write:true;
+  m.up <- true
 
 (* --- the fault plane --- *)
 
@@ -167,20 +221,24 @@ let apply_fault_event t (f : Faults.t) (ev : Faults.event) =
     in
     fault_trace ~cat:"fault.partition"
       (String.concat " | " (List.map (String.concat ",") groups));
+    Sched.access t.sched t.c_faults ~write:true;
     Faults.block_groups f ids
   | Faults.Heal ->
     fault_trace ~cat:"fault.heal" "";
+    Sched.access t.sched t.c_faults ~write:true;
     Faults.clear_partition f
   | Faults.Net_down name -> (
     match net_by_name t name with
     | Some n ->
       fault_trace ~cat:"fault.net_down" name;
+      Sched.access t.sched t.c_topology ~write:true;
       n.Net.up <- false
     | None -> fault_trace ~cat:"fault.error" ("no such net: " ^ name))
   | Faults.Net_up name -> (
     match net_by_name t name with
     | Some n ->
       fault_trace ~cat:"fault.net_up" name;
+      Sched.access t.sched t.c_topology ~write:true;
       n.Net.up <- true
     | None -> fault_trace ~cat:"fault.error" ("no such net: " ^ name))
 
@@ -225,6 +283,7 @@ let pool_leak_check t = Ntcs_util.Pool.leak_check t.pool
 let transmit ?fifo ?(droppable = false) t ~net:(n : Net.t) ~src:(src : Machine.t)
     ~dst:(dst : Machine.t) ~size deliver =
   let partitioned =
+    Sched.access t.sched t.c_faults ~write:false;
     match t.faults with
     | Some f when Faults.blocked f src.id dst.id ->
       Faults.note_blocked f;
@@ -232,6 +291,7 @@ let transmit ?fifo ?(droppable = false) t ~net:(n : Net.t) ~src:(src : Machine.t
       true
     | Some _ | None -> false
   in
+  Sched.access t.sched t.c_topology ~write:false;
   if
     partitioned || (not src.up) || (not dst.up) || (not n.up)
     || (not (attached t src.id n.id))
@@ -244,6 +304,8 @@ let transmit ?fifo ?(droppable = false) t ~net:(n : Net.t) ~src:(src : Machine.t
       let action =
         match t.faults with
         | Some f when droppable ->
+          (* A per-frame rule draw advances the fault plane's rng: a write. *)
+          Sched.access t.sched t.c_faults ~write:true;
           Faults.frame_action f ~now:(Sched.now t.sched) ~net:n.id ~src:src.name
             ~dst:dst.name
         | Some _ | None -> Faults.Deliver

@@ -83,6 +83,18 @@ val install_faults : t -> Faults.t -> unit
 
 val faults : t -> Faults.t option
 
+(** {1 Shared cells}
+
+    The world's own mutable state, declared as {!Sched.cell}s for the
+    domain-safety monitor (see [Ntcs_check.Check_race]): the topology
+    tables ([world.topology], exclusive), the pid→machine map
+    ([world.procs], waived) and the fault plane's partition set + rng
+    ([world.faults], waived). Enumerate them with [Sched.cells (sched t)]. *)
+
+val cell_topology : t -> Sched.cell
+val cell_procs : t -> Sched.cell
+val cell_faults : t -> Sched.cell
+
 (** {1 Pool sanitizer} *)
 
 val arm_pool_sanitizer : t -> unit

@@ -406,6 +406,116 @@ let test_r7_mailbox_send () =
     ]
     (diag_strings (Lint_ownership.check (src "lib/core/own.ml" text)))
 
+(* --- R8: domain safety (shared-state ownership map) --- *)
+
+(* A module-level ref in lib/sim, referenced from a lib/core file: the
+   holder is reachable from per-machine code, so the binding is an R8
+   violation — pinned at the allocating line of a multi-line RHS. *)
+let test_r8_ambient_reachable () =
+  let holder =
+    src "lib/sim/counter_store.ml" "let counter =\n  ref 0\n\nlet peek () = !counter\n"
+  in
+  let user = src "lib/core/some_layer.ml" "let bump () = incr Counter_store.counter\n" in
+  Alcotest.(check (list string))
+    "flagged at the ref, not the let"
+    [
+      "lib/sim/counter_store.ml:2: [domsafe] module-level mutable binding 'counter' \
+       (ref) is ambient-global and reachable from per-machine code; move it into \
+       World/Node state or add `lint: allow domsafe(counter)` with the migration story";
+    ]
+    (diag_strings (Lint_domsafe.check [ holder; user ]))
+
+(* Functions and closure-captured state are per-call / per-value, not
+   module-level: none of these are bindings. *)
+let test_r8_functions_skipped () =
+  let holder =
+    src "lib/sim/counter_store.ml"
+      "let lookup tbl k = Hashtbl.find_opt tbl k\n\n\
+       let make () = ref 0\n\n\
+       let scenario =\n\
+      \  let cell = ref 0 in\n\
+      \  fun () -> incr cell\n"
+  in
+  let user = src "lib/core/some_layer.ml" "let go () = Counter_store.scenario ()\n" in
+  Alcotest.(check (list string)) "no module-level mutable bindings" []
+    (diag_strings (Lint_domsafe.check [ holder; user ]));
+  Alcotest.(check int) "inventory agrees: zero binding entries" 0
+    (List.length
+       (List.filter
+          (fun e -> e.Lint_domsafe.d_scope = Lint_domsafe.Binding)
+          (Lint_domsafe.inventory [ holder; user ])))
+
+(* Unreferenced from any per-machine module: still inventoried as
+   ambient-global, but not a violation. *)
+let test_r8_unreachable_inventoried () =
+  let holder = src "lib/sim/counter_store.ml" "let counter = ref 0\n" in
+  Alcotest.(check (list string)) "no diagnostics" []
+    (diag_strings (Lint_domsafe.check [ holder ]));
+  match Lint_domsafe.inventory [ holder ] with
+  | [ e ] ->
+    Alcotest.(check string) "class" "ambient-global"
+      (Lint_domsafe.class_name e.Lint_domsafe.d_class);
+    Alcotest.(check bool) "not reachable" false e.Lint_domsafe.d_reachable
+  | es -> Alcotest.failf "expected one inventory entry, got %d" (List.length es)
+
+(* The resolved call graph is injected by the driver (ntcs_lint passes
+   Check_graph's hook-aware edges): an edge from a ranked module makes
+   the holder reachable even with no lexical reference in the sources. *)
+let test_r8_resolved_graph_override () =
+  let holder = src "lib/sim/counter_store.ml" "let counter = ref 0\n" in
+  Alcotest.(check int) "edge from Lcm_layer makes it a violation" 1
+    (List.length
+       (Lint_domsafe.check ~graph:[ ("Lcm_layer", "Counter_store") ] [ holder ]));
+  Alcotest.(check int) "no edge, no violation" 0
+    (List.length (Lint_domsafe.check ~graph:[] [ holder ]))
+
+let test_r8_pragma_waives () =
+  let holder =
+    src "lib/sim/counter_store.ml"
+      "(* lint: allow domsafe(counter) \xe2\x80\x94 sharded per domain at spawn *)\n\
+       let counter = ref 0\n"
+  in
+  let user = src "lib/core/some_layer.ml" "let bump () = incr Counter_store.counter\n" in
+  Alcotest.(check (list string)) "waived" []
+    (diag_strings (Lint_domsafe.check [ holder; user ]));
+  match Lint_domsafe.inventory [ holder; user ] with
+  | [ e ] ->
+    Alcotest.(check (option string))
+      "reason recorded in the inventory"
+      (Some "sharded per domain at spawn") e.Lint_domsafe.d_waived
+  | es -> Alcotest.failf "expected one inventory entry, got %d" (List.length es)
+
+(* Mutable record fields are the state the refactor threads through
+   domains: classified by holder path, never violations. *)
+let test_r8_fields_classified () =
+  let machine = src "lib/core/some_layer.ml" "type t = { mutable seq : int }\n" in
+  let world =
+    src "lib/sim/counter_store.ml" "type 'a cell = {\n  mutable value : 'a;\n}\n"
+  in
+  Alcotest.(check (list string)) "fields never fire R8" []
+    (diag_strings (Lint_domsafe.check [ machine; world ]));
+  let render e =
+    Printf.sprintf "%s:%d %s %s" e.Lint_domsafe.d_file e.Lint_domsafe.d_line
+      e.Lint_domsafe.d_name
+      (Lint_domsafe.class_name e.Lint_domsafe.d_class)
+  in
+  Alcotest.(check (list string))
+    "field lines, names and classes"
+    [
+      "lib/core/some_layer.ml:1 t.seq machine-local";
+      "lib/sim/counter_store.ml:2 cell.value world-local";
+    ]
+    (List.sort compare (List.map render (Lint_domsafe.inventory [ machine; world ])))
+
+let test_r8_map_json () =
+  let holder =
+    src "lib/sim/counter_store.ml"
+      "let counter = ref 0\n\ntype t = { mutable hits : int }\n"
+  in
+  Alcotest.(check string) "ownership-map schema"
+    "{\"schema\":\"ntcs.lint.ownership-map/1\",\"entries\":[{\"file\":\"lib/sim/counter_store.ml\",\"line\":1,\"module\":\"Counter_store\",\"name\":\"counter\",\"ctor\":\"ref\",\"scope\":\"binding\",\"class\":\"ambient-global\",\"reachable\":false,\"waived\":null},{\"file\":\"lib/sim/counter_store.ml\",\"line\":3,\"module\":\"Counter_store\",\"name\":\"t.hits\",\"ctor\":\"mutable\",\"scope\":\"field\",\"class\":\"world-local\",\"reachable\":false,\"waived\":null}]}"
+    (Lint_domsafe.map_to_json (Lint_domsafe.inventory [ holder ]))
+
 (* --- the repo itself stays clean --- *)
 
 let test_repo_sources_clean () =
@@ -459,6 +569,18 @@ let () =
         [
           Alcotest.test_case "hashtbl store + pragma" `Quick test_r7_escape;
           Alcotest.test_case "mailbox send" `Quick test_r7_mailbox_send;
+        ] );
+      ( "r8-domsafe",
+        [
+          Alcotest.test_case "ambient + reachable" `Quick test_r8_ambient_reachable;
+          Alcotest.test_case "functions skipped" `Quick test_r8_functions_skipped;
+          Alcotest.test_case "unreachable inventoried" `Quick
+            test_r8_unreachable_inventoried;
+          Alcotest.test_case "resolved graph override" `Quick
+            test_r8_resolved_graph_override;
+          Alcotest.test_case "pragma waives" `Quick test_r8_pragma_waives;
+          Alcotest.test_case "fields classified" `Quick test_r8_fields_classified;
+          Alcotest.test_case "ownership map json" `Quick test_r8_map_json;
         ] );
       ("repo", [ Alcotest.test_case "lib/ clean" `Quick test_repo_sources_clean ]);
     ]
