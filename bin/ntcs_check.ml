@@ -7,6 +7,7 @@
           ntcs_check --faults                fault-plane soak scenarios only
           ntcs_check --sanitize              arm the pool sanitizer in scenarios
           ntcs_check --races                 arm the happens-before race checker
+          ntcs_check --par N                 domain-parallel validation pass
 
    Static half: the lifecycle automaton's handler-exhaustiveness check
    against proto.ml/ns_proto.ml, and the cross-module recursion-cycle
@@ -43,8 +44,38 @@ let run_faults json budget min_schedules sanitize races =
   end;
   if bad then 1 else 0
 
-let run static_only faults json budget min_schedules sanitize races paths =
-  if faults then run_faults json budget min_schedules sanitize races
+(* Domain-parallel validation (DESIGN.md §14): every bounded scenario and
+   fault soak replicated on [n] concurrent domains (byte-identical traces
+   required), plus the coupled barrier soak on an [n]-shard world run
+   under the 1/2/4-worker matrix. *)
+let run_par json n =
+  let scenarios = Check_scenarios.all @ Check_scenarios.faults in
+  let reps = List.map (Check_par.replicate ~replicas:n) scenarios in
+  let soak = Check_par.par_soak ~domains:n () in
+  let bad =
+    List.exists Check_par.replication_failed reps || Check_par.par_soak_failed soak
+  in
+  if json then
+    Format.printf
+      "{\"par\":{\"domains\":%d,\"replications\":%d,\"divergent\":%d,\
+       \"soak_epochs\":%d,\"soak_messages\":%d,\"soak_failed\":%b}}@."
+      n (List.length reps)
+      (List.length (List.filter Check_par.replication_failed reps))
+      soak.Check_par.pr_epochs soak.Check_par.pr_messages
+      (Check_par.par_soak_failed soak)
+  else begin
+    List.iter (Check_par.report_replication Format.std_formatter) reps;
+    Check_par.report_par Format.std_formatter soak;
+    if bad then Format.printf "ntcs_check: parallel validation failures@."
+    else
+      Format.printf
+        "ntcs_check: parallel validation clean (%d domain(s), worker matrix 1/2/4)@." n
+  end;
+  if bad then 1 else 0
+
+let run static_only faults json budget min_schedules sanitize races par paths =
+  if par > 0 then run_par json par
+  else if faults then run_faults json budget min_schedules sanitize races
   else
     match check_paths paths with
     | Error c -> c
@@ -126,6 +157,19 @@ let races_arg =
            domain-parallel world execution — fails the schedule. The \
            `@race` dune alias runs the scenarios and fault soaks this way.")
 
+let par_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "par" ] ~docv:"N"
+        ~doc:
+          "Run the domain-parallel validation pass instead: every bounded \
+           scenario and fault soak replicated on $(docv) concurrent domains \
+           (traces must be byte-identical to the solo run), plus the \
+           coupled $(docv)-shard barrier soak under the 1/2/4-worker \
+           matrix — byte-identical merged logs, clean spans, zero race \
+           conflicts, and a choice-log record/replay round trip. The \
+           `@par` dune alias runs this for 1, 2 and 4 domains.")
+
 let min_schedules_arg =
   Arg.(
     value & opt int 100
@@ -152,6 +196,6 @@ let cmd =
     (Cmd.info "ntcs_check" ~doc ~man)
     Term.(
       const run $ static_arg $ faults_arg $ json_arg $ budget_arg $ min_schedules_arg
-      $ sanitize_arg $ races_arg $ paths_arg)
+      $ sanitize_arg $ races_arg $ par_arg $ paths_arg)
 
 let () = exit (Cmd.eval' cmd)

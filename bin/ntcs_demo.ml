@@ -9,8 +9,32 @@ open Ntcs
 let raw s = Ntcs_wire.Convert.payload_raw (Bytes.of_string s)
 
 let scenario ~trace ~filter ~seed ~faults =
+  (* --faults: the deterministic fault plane — lossy/duplicating/slow links
+     while the calls run, and the worker's ring partitioned away for 4s
+     mid-conversation — armed declaratively through World.Config. Every
+     injection draws from the plane's seeded stream, so the same --seed
+     narrates the same failures. *)
+  let fault_spec =
+    if not faults then None
+    else
+      Some
+        {
+          Ntcs_sim.Faults.seed;
+          rules =
+            [
+              Ntcs_sim.Faults.rule ~from_us:4_000_000 ~until_us:30_000_000 ~drop:0.05
+                ~dup:0.05 ~delay:0.2 ~delay_us:30_000 ();
+            ];
+          schedule =
+            [
+              (5_000_000, Ntcs_sim.Faults.Partition [ [ "ap1" ]; [ "vax1"; "bridge"; "sun1" ] ]);
+              (9_000_000, Ntcs_sim.Faults.Heal);
+            ];
+        }
+  in
   let cluster =
-    Cluster.build ~seed
+    Cluster.build
+      ~config:{ Ntcs_sim.World.Config.default with Ntcs_sim.World.Config.seed; faults = fault_spec }
       ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan); ("ring", Ntcs_sim.Net.Mbx_ring) ]
       ~machines:
         [
@@ -26,24 +50,6 @@ let scenario ~trace ~filter ~seed ~faults =
      important" — restrict the trace to the requested categories. *)
   if filter <> [] then
     Ntcs_sim.Trace.set_filter (Ntcs_sim.World.trace (Cluster.world cluster)) filter;
-  (* --faults: arm the deterministic fault plane — lossy/duplicating/slow
-     links while the calls run, and the worker's ring partitioned away for
-     4s mid-conversation. Every injection draws from the plane's seeded
-     stream, so the same --seed narrates the same failures. *)
-  if faults then
-    Ntcs_sim.World.install_faults (Cluster.world cluster)
-      (Ntcs_sim.Faults.create
-         ~rules:
-           [
-             Ntcs_sim.Faults.rule ~from_us:4_000_000 ~until_us:30_000_000 ~drop:0.05
-               ~dup:0.05 ~delay:0.2 ~delay_us:30_000 ();
-           ]
-         ~schedule:
-           [
-             (5_000_000, Ntcs_sim.Faults.Partition [ [ "ap1" ]; [ "vax1"; "bridge"; "sun1" ] ]);
-             (9_000_000, Ntcs_sim.Faults.Heal);
-           ]
-         ~seed ());
   Cluster.settle cluster;
   print_endline "== NTCS demo: ethernet + apollo ring, one gateway, NS on vax1 ==";
   if faults then

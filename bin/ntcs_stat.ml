@@ -25,8 +25,31 @@ let raw s = Ntcs_wire.Convert.payload_raw (Bytes.of_string s)
    circuit opens, all five LCM primitives, gateway forwards, and (with
    --faults) the retry path. *)
 let run_workload ~seed ~faults ~sanitize =
+  (* One declarative World.Config: the sanitizer is armed at creation
+     (hand-outs predating the tracker would read as foreign on release)
+     and the fault plane's seeded rules ride in the same record. *)
+  let config =
+    {
+      Ntcs_sim.World.Config.default with
+      Ntcs_sim.World.Config.seed;
+      sanitize;
+      faults =
+        (if not faults then None
+         else
+           Some
+             {
+               Ntcs_sim.Faults.seed;
+               rules =
+                 [
+                   Ntcs_sim.Faults.rule ~from_us:3_000_000 ~until_us:20_000_000
+                     ~drop:0.05 ~dup:0.05 ~delay:0.2 ~delay_us:30_000 ();
+                 ];
+               schedule = [];
+             });
+    }
+  in
   let cluster =
-    Cluster.build ~seed
+    Cluster.build ~config
       ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan); ("ring", Ntcs_sim.Net.Mbx_ring) ]
       ~machines:
         [
@@ -38,18 +61,6 @@ let run_workload ~seed ~faults ~sanitize =
       ~gateways:[ ("bridge-gw", "bridge", [ "ether"; "ring" ]) ]
       ~ns:"vax1" ()
   in
-  (* Arm before traffic: hand-outs predating the tracker would read as
-     foreign on release. *)
-  if sanitize then Ntcs_sim.World.arm_pool_sanitizer (Cluster.world cluster);
-  if faults then
-    Ntcs_sim.World.install_faults (Cluster.world cluster)
-      (Ntcs_sim.Faults.create
-         ~rules:
-           [
-             Ntcs_sim.Faults.rule ~from_us:3_000_000 ~until_us:20_000_000 ~drop:0.05
-               ~dup:0.05 ~delay:0.2 ~delay_us:30_000 ();
-           ]
-         ~seed ());
   Cluster.settle cluster;
   ignore
     (Cluster.spawn cluster ~machine:"ap1" ~name:"worker" (fun node ->

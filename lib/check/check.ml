@@ -23,8 +23,7 @@ type exploration = {
   x_outcome : Ntcs_sim.Explore.outcome;
 }
 
-let mode ~sanitize ~races =
-  { Check_scenarios.m_sanitize = sanitize; m_races = races }
+let mode ~sanitize ~races = { Ntcs_sim.Sched.Mode.sanitize; races }
 
 let explore_all ?max_schedules ?(sanitize = false) ?(races = false) () =
   let mode = mode ~sanitize ~races in

@@ -18,7 +18,7 @@ val explore_all :
   ?max_schedules:int -> ?sanitize:bool -> ?races:bool -> unit -> exploration list
 (** Run every bounded scenario under exhaustive exploration. [sanitize]
     arms the pool sanitizer, [races] the happens-before race checker, on
-    every scenario world (see {!Check_scenarios.mode}); both default off. *)
+    every scenario world (see {!Check_scenarios.Mode}); both default off. *)
 
 val exploration_failed : exploration -> bool
 (** Truncated (budget exhausted) or any schedule violated an invariant. *)

@@ -18,6 +18,13 @@
 
 open Ntcs
 
+(* The instrumentation mode is the scheduler's own canonical record now
+   (PR 8) — this harness used to carry its own {m_sanitize; m_races}
+   copy. Still threaded explicitly through every scenario build: a
+   module-level flag here would itself be ambient shared state, exactly
+   what R8 forbids. *)
+module Mode = Ntcs_sim.Sched.Mode
+
 type scenario = {
   sc_name : string;
   sc_from : int;
@@ -29,17 +36,20 @@ type scenario = {
          contain the whole exchange under test, so every interleaving of
          the interesting events is still covered while the tree stays
          finite. *)
-  sc_make : mode -> Ntcs_sim.Sched.t * (unit -> string list);
+  sc_make : Mode.t -> Ntcs_sim.World.t * (unit -> string list);
 }
 
-(* Optional instrumentation, threaded explicitly through every scenario
-   build (a module-level flag here would itself be ambient shared state —
-   exactly what R8 forbids). [m_sanitize] arms the PR 6 pool sanitizer;
-   [m_races] arms the happens-before race checker. Both off by default so
-   `@faults` traces stay byte-identical with the seed. *)
-and mode = { m_sanitize : bool; m_races : bool }
-
-let mode_default = { m_sanitize = false; m_races = false }
+(* The world configuration a mode asks for: sanitizer armed declaratively
+   at creation (before any hand-out), fault plane likewise. [races] rides
+   in the config too, but arming the checker is this library's job (the
+   sim layer sits below Check_race) — see [built]. *)
+let config_of_mode ?faults (mode : Mode.t) =
+  {
+    Ntcs_sim.World.Config.default with
+    Ntcs_sim.World.Config.sanitize = mode.Mode.sanitize;
+    races = mode.Mode.races;
+    faults;
+  }
 
 let payload s = Ntcs_wire.Convert.payload_raw (Bytes.of_string s)
 
@@ -63,12 +73,11 @@ let spawn_echo c ~machine ~name errs =
            in
            loop ()))
 
-(* Arm whatever the mode asks for right after the world is built — before
-   any traffic, so the sanitizer sees every hand-out and the race checker
-   sees every push from the first event on. *)
-let built mode c =
-  if mode.m_sanitize then Ntcs_sim.World.arm_pool_sanitizer (Cluster.world c);
-  if mode.m_races then ignore (Check_race.arm (Cluster.world c));
+(* Arm the race checker right after the world is built — before any event
+   executes, so it sees every push from the first one on. (The sanitizer
+   needs no step here: [config_of_mode] arms it inside [World.create].) *)
+let built (mode : Mode.t) c =
+  if mode.Mode.races then ignore (Check_race.arm (Cluster.world c));
   c
 
 (* Pool-sanitizer soak mode (`ntcs_check --sanitize` / `@sanitize`): fail
@@ -77,8 +86,8 @@ let built mode c =
    pool.sanitizer.leak trace events) but are not failures: when virtual
    time stops, crashed machines and undrained in-flight segments
    legitimately still hold buffers. *)
-let sanitizer_violations mode c =
-  if not mode.m_sanitize then []
+let sanitizer_violations (mode : Mode.t) c =
+  if not mode.Mode.sanitize then []
   else begin
     ignore (Ntcs_sim.World.pool_leak_check (Cluster.world c));
     List.concat_map
@@ -98,8 +107,8 @@ let sanitizer_violations mode c =
    checker already deduplicates (one finding per cell/owner/kind pattern)
    and emits each as a race.conflict trace event, so the trace is the
    report. *)
-let race_violations mode c =
-  if not mode.m_races then []
+let race_violations (mode : Mode.t) c =
+  if not mode.Mode.races then []
   else
     List.map
       (fun (e : Ntcs_sim.Trace.entry) -> Printf.sprintf "race: %s" e.detail)
@@ -136,7 +145,7 @@ let trace_violations ?recursion_limit mode c =
 let first_send =
   let make mode =
     let c =
-      Cluster.build
+      Cluster.build ~config:(config_of_mode mode)
         ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan); ("ring", Ntcs_sim.Net.Mbx_ring) ]
         ~machines:
           [
@@ -175,7 +184,7 @@ let first_send =
       in
       !errs @ outcome_errs @ trace_violations mode c
     in
-    (Cluster.sched c, body)
+    (Cluster.world c, body)
   in
   (* The exchange (locate, chained open, splice, echo, teardown) completes
      well before t=4.05s; later ties are 3s-periodic maintenance. *)
@@ -188,7 +197,7 @@ let break_ns =
   let make mode =
     let tweak cfg = { cfg with Node.ns_fault_guard = true; recursion_limit = 40 } in
     let c =
-      Cluster.build ~tweak
+      Cluster.build ~config:(config_of_mode mode) ~tweak
         ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
         ~machines:
           [
@@ -236,7 +245,7 @@ let break_ns =
       in
       !errs @ outcome_errs @ guard_errs @ trace_violations ~recursion_limit:40 mode c
     in
-    (Cluster.sched c, body)
+    (Cluster.world c, body)
   in
   (* Window covers the partition (t=6s), the app's wake (t=8s) and the
      whole fault exchange; the tree is small enough to leave it wide. *)
@@ -263,8 +272,8 @@ let trace_violations_crashes_expected mode c =
     @ Check_spans.check (Ntcs_obs.Registry.spans (Cluster.metrics c)))
   @ sanitizer_violations mode c @ race_violations mode c
 
-let lan3 ?tweak mode =
-  Cluster.build ?tweak
+let lan3 ?tweak ?faults mode =
+  Cluster.build ~config:(config_of_mode ?faults mode) ?tweak
     ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
     ~machines:
       [
@@ -327,20 +336,24 @@ let metric_at_least c name n msg =
    policy and converge after the heal — on every interleaving. *)
 let fault_partition_heal =
   let make mode =
-    let c = lan3 mode in
-    Ntcs_sim.World.install_faults (Cluster.world c)
-      (Ntcs_sim.Faults.create
-         ~rules:
-           [
-             Ntcs_sim.Faults.rule ~from_us:5_000_000 ~until_us:11_000_000 ~drop:0.03
-               ~dup:0.05 ~delay:0.2 ~delay_us:20_000 ();
-           ]
-         ~schedule:
-           [
-             (6_000_000, Ntcs_sim.Faults.Partition [ [ "sun1" ]; [ "vax1"; "sun2" ] ]);
-             (10_000_000, Ntcs_sim.Faults.Heal);
-           ]
-         ~seed:0xFA11 ());
+    let c =
+      lan3
+        ~faults:
+          {
+            Ntcs_sim.Faults.seed = 0xFA11;
+            rules =
+              [
+                Ntcs_sim.Faults.rule ~from_us:5_000_000 ~until_us:11_000_000 ~drop:0.03
+                  ~dup:0.05 ~delay:0.2 ~delay_us:20_000 ();
+              ];
+            schedule =
+              [
+                (6_000_000, Ntcs_sim.Faults.Partition [ [ "sun1" ]; [ "vax1"; "sun2" ] ]);
+                (10_000_000, Ntcs_sim.Faults.Heal);
+              ];
+          }
+        mode
+    in
     let errs = ref [] in
     let body () =
       Cluster.settle c;
@@ -354,7 +367,7 @@ let fault_partition_heal =
       @ metric_at_least c "lcm.retries" 1 "recovery never engaged the retry policy"
       @ trace_violations mode c
     in
-    (Cluster.sched c, body)
+    (Cluster.world c, body)
   in
   (* Branch across the outage and the convergence that follows it. *)
   { sc_name = "fault-partition-heal"; sc_from = 5_000_000; sc_until = 36_000_000; sc_make = make }
@@ -366,15 +379,20 @@ let fault_partition_heal =
    in a newer module") on every interleaving. *)
 let fault_crash_restart =
   let make mode =
-    let c = lan3 mode in
-    Ntcs_sim.World.install_faults (Cluster.world c)
-      (Ntcs_sim.Faults.create
-         ~schedule:
-           [
-             (6_000_000, Ntcs_sim.Faults.Crash "sun1");
-             (8_000_000, Ntcs_sim.Faults.Restart "sun1");
-           ]
-         ~seed:0xFA12 ());
+    let c =
+      lan3
+        ~faults:
+          {
+            Ntcs_sim.Faults.seed = 0xFA12;
+            rules = [];
+            schedule =
+              [
+                (6_000_000, Ntcs_sim.Faults.Crash "sun1");
+                (8_000_000, Ntcs_sim.Faults.Restart "sun1");
+              ];
+          }
+        mode
+    in
     let errs = ref [] in
     let body () =
       Cluster.settle c;
@@ -390,7 +408,7 @@ let fault_crash_restart =
       @ metric_at_least c "lcm.relocations" 1 "stale address never healed through the oracle"
       @ trace_violations mode c
     in
-    (Cluster.sched c, body)
+    (Cluster.world c, body)
   in
   { sc_name = "fault-crash-restart"; sc_from = 5_000_000; sc_until = 39_000_000; sc_make = make }
 
@@ -402,11 +420,17 @@ let fault_crash_restart =
    be reestablished" — must reproduce deterministically on every schedule. *)
 let ns_partition_make ~guard ~seed mode =
   let tweak cfg = { cfg with Node.ns_fault_guard = guard; recursion_limit = 40 } in
-  let c = lan3 ~tweak mode in
-  Ntcs_sim.World.install_faults (Cluster.world c)
-    (Ntcs_sim.Faults.create
-       ~schedule:[ (6_000_000, Ntcs_sim.Faults.Partition [ [ "vax1" ]; [ "sun1"; "sun2" ] ]) ]
-       ~seed ());
+  let c =
+    lan3 ~tweak
+      ~faults:
+        {
+          Ntcs_sim.Faults.seed;
+          rules = [];
+          schedule =
+            [ (6_000_000, Ntcs_sim.Faults.Partition [ [ "vax1" ]; [ "sun1"; "sun2" ] ]) ];
+        }
+      mode
+  in
   let errs = ref [] in
   let outcome = ref `Not_run in
   let body_common () =
@@ -450,7 +474,7 @@ let fault_ns_partition_guard =
       @ metric_at_least c "lcm.ns_guard_hits" 1 "guard never engaged"
       @ trace_violations ~recursion_limit:40 mode c
     in
-    (Cluster.sched c, body)
+    (Cluster.world c, body)
   in
   { sc_name = "fault-ns-partition-guard"; sc_from = 4_000_000; sc_until = 64_000_000; sc_make = make }
 
@@ -484,7 +508,7 @@ let fault_ns_partition_noguard =
       in
       !errs @ divergence_errs @ guard_errs @ trace_violations_crashes_expected mode c
     in
-    (Cluster.sched c, body)
+    (Cluster.world c, body)
   in
   {
     sc_name = "fault-ns-partition-noguard";
@@ -503,8 +527,10 @@ let faults =
     fault_ns_partition_noguard;
   ]
 
-let explore ?max_schedules ?(mode = mode_default) sc =
+let explore ?max_schedules ?(mode = Mode.default) sc =
   Ntcs_sim.Explore.run ?max_schedules
     ~branch:(fun ~time ~owners:_ -> time >= sc.sc_from && time < sc.sc_until)
-    ~make:(fun () -> sc.sc_make mode)
+    ~make:(fun () ->
+      let w, body = sc.sc_make mode in
+      (Ntcs_sim.World.sched w, body))
     ()

@@ -3,6 +3,27 @@
     invariants, lifecycle-automaton conformance, process crashes and the
     exchange's own outcome as that schedule's violations. *)
 
+(** The instrumentation mode is the scheduler's canonical
+    {!Ntcs_sim.Sched.Mode} record (PR 8); this harness used to carry its
+    own [{m_sanitize; m_races}] copy. Still threaded explicitly through
+    every build — a module-level flag would itself be the ambient shared
+    state rule R8 forbids.
+
+    [sanitize]: the buffer-pool sanitizer, armed declaratively via
+    {!Ntcs_sim.World.Config}; aliasing violations — poison hits, double
+    and foreign releases, rejected releases — fail the schedule, leaks at
+    teardown are reported as [pool.sanitizer.leak] trace events but not
+    failed on (stopped virtual time legitimately strands in-flight
+    buffers).
+
+    [races]: the happens-before checker ({!Check_race}), armed by this
+    library on any world whose config asks for it; any [race.conflict] it
+    reports fails the schedule.
+
+    Both off in [Mode.default], keeping soak traces byte-identical with
+    the seed. *)
+module Mode = Ntcs_sim.Sched.Mode
+
 type scenario = {
   sc_name : string;
   sc_from : int;
@@ -10,27 +31,14 @@ type scenario = {
       (** ties inside [[sc_from, sc_until)] are branched on; the boot
           before and the steady-state maintenance after run in default
           order *)
-  sc_make : mode -> Ntcs_sim.Sched.t * (unit -> string list);
+  sc_make : Mode.t -> Ntcs_sim.World.t * (unit -> string list);
+      (** build a fresh world for this mode and return it with the body
+          that drives the exchange and reports that run's violations *)
 }
 
-(** Optional instrumentation, armed on the scenario's world right after it
-    is built (before any traffic) and threaded explicitly — a module-level
-    flag would itself be the ambient shared state rule R8 forbids.
-
-    [m_sanitize]: the buffer-pool sanitizer; aliasing violations — poison
-    hits, double and foreign releases, rejected releases — fail the
-    schedule, leaks at teardown are reported as [pool.sanitizer.leak]
-    trace events but not failed on (stopped virtual time legitimately
-    strands in-flight buffers).
-
-    [m_races]: the happens-before checker ({!Check_race}); any
-    [race.conflict] it reports fails the schedule.
-
-    Both off in {!mode_default}, keeping soak traces byte-identical with
-    the seed. *)
-and mode = { m_sanitize : bool; m_races : bool }
-
-val mode_default : mode
+val config_of_mode : ?faults:Ntcs_sim.Faults.spec -> Mode.t -> Ntcs_sim.World.Config.t
+(** The world configuration a mode asks for (sanitizer + fault plane armed
+    declaratively at creation). *)
 
 val first_send : scenario
 (** §6.1 first send across a prime gateway (chained open + splice). *)
@@ -70,6 +78,6 @@ val fault_ns_partition_noguard : scenario
 
 val faults : scenario list
 
-val explore : ?max_schedules:int -> ?mode:mode -> scenario -> Ntcs_sim.Explore.outcome
+val explore : ?max_schedules:int -> ?mode:Mode.t -> scenario -> Ntcs_sim.Explore.outcome
 (** Explore the scenario's schedule tree (see {!Ntcs_sim.Explore.run});
-    [mode] defaults to {!mode_default} — everything disarmed. *)
+    [mode] defaults to [Mode.default] — everything disarmed. *)

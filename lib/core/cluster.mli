@@ -10,7 +10,9 @@ open Ntcs_sim
 type t
 
 val build :
+  ?world:World.t ->
   ?seed:int ->
+  ?config:World.Config.t ->
   ?tweak:(Node.config -> Node.config) ->
   nets:(string * Net.kind) list ->
   machines:(string * Machine.mtype * string list) list ->
@@ -27,7 +29,12 @@ val build :
     - [gateways]: (gateway name, hosting machine, bridged network names) —
       all prime (well-known);
     - [ns] / [ns_replicas]: machines hosting the name server(s);
-    - [tweak] adjusts the node configuration (guards, timeouts, ablations).
+    - [tweak] adjusts the node configuration (guards, timeouts, ablations);
+    - [config] is the full {!World.Config} (fault plane, sanitizer, chooser,
+      …) and wins over [seed], which remains as shorthand for a
+      default-mode world on that seed;
+    - [world] hosts the cluster on an existing world — a {!World.Par}
+      shard, typically — and then [config]/[seed] are ignored entirely.
 
     Call {!settle} afterwards to let the infrastructure boot. *)
 

@@ -80,6 +80,11 @@ let all =
     ("pool.sanitizer.leak", "sanitizer: a buffer was still outstanding at world teardown");
     (* Race checker: happens-before conflicts on registered shared cells. *)
     ("race.conflict", "race checker: conflicting accesses to a shared cell unordered by happens-before");
+    (* Parallel worlds: cross-shard barrier-channel traffic. *)
+    ("par.send", "cross-shard token posted to a barrier channel");
+    ("par.recv", "cross-shard token delivered on the destination shard");
+    ("par.token", "cross-shard coupling token (bench workloads)");
+    ("par.tick", "parallel-harness local progress mark");
     (* Simulator. *)
     ("sim.crash", "machine crashed");
     ("sim.proc_crash", "process died with an exception");

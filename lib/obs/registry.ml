@@ -12,12 +12,13 @@ type t = {
   histos : (string, Histo.t) Hashtbl.t;
   mutable spans : Span.event list;  (** newest first *)
   mutable span_count : int;
-  mutable next_circuit : int;
+  mutable next_circuit : int;  (** count allocated, not the last id *)
+  mutable circuit_base : int;  (** shard namespace offset (parallel worlds) *)
 }
 
 let create () =
   { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; histos = Hashtbl.create 16;
-    spans = []; span_count = 0; next_circuit = 0 }
+    spans = []; span_count = 0; next_circuit = 0; circuit_base = 0 }
 
 let reset t =
   Hashtbl.reset t.counters;
@@ -25,7 +26,8 @@ let reset t =
   Hashtbl.reset t.histos;
   t.spans <- [];
   t.span_count <- 0;
-  t.next_circuit <- 0
+  t.next_circuit <- 0;
+  t.circuit_base <- 0
 
 (* Cannot use Ntcs_util.sorted_bindings here — ntcs_util sits above us — so
    the registry carries its own deterministic iteration helper. *)
@@ -83,8 +85,18 @@ let histos_alist t = sorted_bindings t.histos
 
 let fresh_circuit t =
   t.next_circuit <- t.next_circuit + 1;
-  t.next_circuit
+  t.circuit_base + t.next_circuit
 
+(* Shard namespacing: a parallel world gives shard i the base i * 10^6 so
+   circuit ids stay world-unique in merged span logs. Must be set before
+   the first allocation — renumbering live circuits would orphan their
+   spans. *)
+let set_circuit_base t base =
+  if t.next_circuit > 0 then
+    invalid_arg "Registry.set_circuit_base: circuits already allocated";
+  t.circuit_base <- base
+
+let circuit_base t = t.circuit_base
 let circuits_allocated t = t.next_circuit
 
 let span t ev =

@@ -36,10 +36,19 @@ val histos_alist : t -> (string * Histo.t) list
 (** {1 Circuit ids and spans} *)
 
 val fresh_circuit : t -> int
-(** Next world-unique circuit id (1, 2, ...). Allocation order is fixed by
-    the deterministic scheduler, so equal seeds allocate identical ids. *)
+(** Next world-unique circuit id (base + 1, base + 2, ...). Allocation
+    order is fixed by the deterministic scheduler, so equal seeds allocate
+    identical ids. *)
+
+val set_circuit_base : t -> int -> unit
+(** Shard namespace offset for parallel worlds (shard [i] gets
+    [i * 1_000_000]) so circuit ids stay unique in merged span logs.
+    Raises [Invalid_argument] once any circuit has been allocated. *)
+
+val circuit_base : t -> int
 
 val circuits_allocated : t -> int
+(** Count of circuits allocated (excludes the base). *)
 
 val span : t -> Span.event -> unit
 val spans : t -> Span.event list

@@ -37,6 +37,25 @@ type cell_policy =
 
 type cell = { c_name : string; c_policy : cell_policy }
 
+(* The one scheduler-instrumentation mode record. Before this module
+   existed the same two booleans were re-declared ad hoc by the scenario
+   harness ({m_sanitize; m_races}), the check driver and the CLI; the R8
+   ownership map, Check_race and the barrier coordinator now all name this
+   single type. Everything defaults to off so default-mode traces stay
+   byte-identical with the seed. *)
+module Mode = struct
+  type t = {
+    sanitize : bool; (* arm the pool sanitizer (PR 6) on the world *)
+    races : bool; (* arm the happens-before race checker (PR 7) *)
+  }
+
+  let default = { sanitize = false; races = false }
+  let armed m = m.sanitize || m.races
+
+  let pp ppf m =
+    Fmt.pf ppf "{sanitize=%b; races=%b}" m.sanitize m.races
+end
+
 (* The domain-safety monitor (see Check_race): armed, it receives every
    event push (with the pusher's identity), every event execution, and
    every access to a registered shared cell. Off by default; each hook
@@ -51,6 +70,7 @@ type monitor = {
 
 type t = {
   mutable now : int; (* virtual microseconds *)
+  mutable label : string; (* shard tag ("s0", "s1", …) in parallel worlds *)
   mutable next_seq : int;
   events : event Ntcs_util.Heap.t;
   procs : (pid, proc) Hashtbl.t;
@@ -96,6 +116,7 @@ let create () =
   let leq a b = a.time < b.time || (a.time = b.time && a.seq <= b.seq) in
   {
     now = 0;
+    label = "";
     next_seq = 0;
     events = Ntcs_util.Heap.create ~leq;
     procs = Hashtbl.create 64;
@@ -111,6 +132,16 @@ let create () =
   }
 
 let now t = t.now
+
+let set_label t l = t.label <- l
+let label t = t.label
+
+(* Earliest pending event, if any — the barrier coordinator's horizon
+   input. Peeking never disturbs the heap. *)
+let next_event_time t =
+  match Ntcs_util.Heap.peek t.events with
+  | Some ev -> Some ev.time
+  | None -> None
 
 let set_event_limit t n = t.max_events <- n
 
@@ -402,12 +433,19 @@ let events_executed t = t.event_count
 (* Diagnostic for quiescent-but-not-finished worlds: which processes are
    still alive and suspended (blocked forever unless an external event wakes
    them)? Long-running servers legitimately appear here; a test harness can
-   subtract its known daemons and flag the rest as deadlocked. *)
+   subtract its known daemons and flag the rest as deadlocked.
+
+   Shard discipline (R2): names are prefixed with the scheduler's label
+   when one is set ("s1/name-server/0"), and the output is sorted after
+   prefixing, so the reports of a multi-shard world concatenate into one
+   deterministically ordered list that diffs cleanly against any other
+   shard layout. *)
 let blocked_processes t =
+  let tag name = if t.label = "" then name else t.label ^ "/" ^ name in
   Ntcs_util.sorted_bindings t.procs
   |> List.filter_map (fun (_, proc) ->
          match proc.state with
-         | Suspended _ -> Some proc.proc_name
+         | Suspended _ -> Some (tag proc.proc_name)
          | Embryo _ | Running | Queued _ | Dead -> None)
   |> List.sort String.compare
 

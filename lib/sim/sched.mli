@@ -30,10 +30,44 @@ type waker
 (** One-shot handle that resumes a suspended process. Idempotent: waking an
     already-resumed process is a no-op. *)
 
+(** The scheduler-instrumentation mode: which always-available dynamic
+    checkers are armed on a world. This is the one canonical copy of the
+    record that used to be re-declared ad hoc by the scenario harness
+    ([{m_sanitize; m_races}]), the check driver and the CLI; lint R8's
+    ownership map, [Check_race] and the barrier coordinator all name this
+    type. Carried by {!World.Config}; both flags default to off so
+    default-mode traces stay byte-identical with the seed. *)
+module Mode : sig
+  type t = {
+    sanitize : bool;  (** arm the pool sanitizer (generation tags, poison
+                          canary, leak report) on the world *)
+    races : bool;  (** arm the vector-clock happens-before race checker *)
+  }
+
+  val default : t
+  (** Both off — the plain deterministic world. *)
+
+  val armed : t -> bool
+  (** Is any checker on? *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
 val create : unit -> t
 
 val now : t -> int
 (** Current virtual time in microseconds. *)
+
+val set_label : t -> string -> unit
+(** Tag this scheduler with a shard label ("s0", "s1", …). The label
+    prefixes {!blocked_processes} output so multi-shard reports diff
+    cleanly; empty (the default) leaves output unprefixed. *)
+
+val label : t -> string
+
+val next_event_time : t -> int option
+(** Virtual time of the earliest pending event, without disturbing the
+    heap — the barrier coordinator's horizon input. [None] when idle. *)
 
 val set_event_limit : t -> int -> unit
 (** Abort the run with {!Event_limit_exceeded} after this many events
@@ -160,7 +194,11 @@ val events_executed : t -> int
 val blocked_processes : t -> string list
 (** Names of live processes currently suspended. After a quiescent {!run},
     these are blocked forever unless an external event wakes them —
-    legitimate for server loops, a deadlock diagnostic for anything else. *)
+    legitimate for server loops, a deadlock diagnostic for anything else.
+    Shard-stable: each name is prefixed with the scheduler's {!label}
+    (["s1/name-server/0"]) when one is set, and the list is sorted after
+    prefixing, so per-shard reports concatenate into one deterministically
+    ordered list. *)
 
 (** Write-once cell with blocking read. Reads after the fill return
     immediately; multiple readers all wake on fill. *)

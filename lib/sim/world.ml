@@ -3,6 +3,52 @@
    sketch; experiments build one, spawn NTCS modules on its machines and run
    virtual time forward. *)
 
+(* The one world-construction surface. Until PR 8 every instrumentation
+   feature grew its own toggle (World.install_faults, arm_pool_sanitizer,
+   the {m_sanitize; m_races} record threaded through the check harness,
+   chooser/monitor setters, Sched.set_event_limit): seven entry points a
+   caller had to sequence correctly by hand. A Config is declarative data
+   — in particular it can be stamped out per shard (Config.shard) so the
+   parallel world gives every domain an identical-but-decorrelated copy. *)
+module Config = struct
+  type chooser =
+    | Default  (* deterministic (time, seq) order *)
+    | Choose of (time:int -> owners:int array -> int)
+        (* exploration hook, same contract as Sched.set_chooser; every
+           consulted choice is recorded in the world's choice log *)
+    | Replay of int list
+        (* replay a recorded choice log; exhausted or out-of-range entries
+           fall back to owner 0 (the deterministic default) *)
+
+  type t = {
+    seed : int;
+    domains : int; (* shard count for Par worlds; 1 = plain sequential *)
+    faults : Faults.spec option; (* declarative plane, armed at creation *)
+    sanitize : bool; (* arm the pool sanitizer (PR 6) *)
+    races : bool; (* request the race checker; armed by Ntcs_check *)
+    chooser : chooser;
+    event_limit : int; (* 0 = unlimited *)
+  }
+
+  let default =
+    {
+      seed = 42;
+      domains = 1;
+      faults = None;
+      sanitize = false;
+      races = false;
+      chooser = Default;
+      event_limit = 0;
+    }
+
+  let mode c = { Sched.Mode.sanitize = c.sanitize; races = c.races }
+
+  (* Per-shard copy: decorrelated seed (prime stride), sequential inside
+     the shard. Shard 0 keeps the base seed so a 1-domain Par world is
+     the sequential world. *)
+  let shard c ~shard = { c with seed = c.seed + (shard * 7919); domains = 1 }
+end
+
 type t = {
   sched : Sched.t;
   metrics : Ntcs_util.Metrics.t;
@@ -16,6 +62,8 @@ type t = {
   mutable next_machine_id : int;
   mutable next_net_id : int;
   mutable seed : int;
+  config : Config.t;
+  mutable choices : (int * int) list; (* (choice, arity), newest first *)
   mutable faults : Faults.t option;
   (* Declared shared cells (domain-safety): the world-level mutable state
      every machine's stack can reach. The race checker (Check_race) arms a
@@ -26,7 +74,10 @@ type t = {
   c_faults : Sched.cell; (* fault-plane partition set + seeded draw state *)
 }
 
-let create ?(seed = 42) () =
+(* Record construction only; [create] (below the fault plane, which it
+   arms) applies the config. *)
+let make (config : Config.t) =
+  let seed = config.Config.seed in
   let metrics = Ntcs_util.Metrics.create () in
   let sched = Sched.create () in
   {
@@ -42,6 +93,8 @@ let create ?(seed = 42) () =
     next_machine_id = 1;
     next_net_id = 1;
     seed;
+    config;
+    choices = [];
     faults = None;
     (* Topology is written only by the coordinator (setup, fault schedule,
        test driver), so conflicting accesses must be barrier-ordered. The
@@ -63,6 +116,11 @@ let create ?(seed = 42) () =
   }
 
 let sched t = t.sched
+let config t = t.config
+let mode t = Config.mode t.config
+let choice_log t = List.rev t.choices
+let set_label t l = Sched.set_label t.sched l
+let label t = Sched.label t.sched
 let metrics t = t.metrics
 let cell_topology t = t.c_topology
 let cell_procs t = t.c_procs
@@ -265,6 +323,60 @@ let arm_pool_sanitizer t =
    machines legitimately strand their in-flight buffers. *)
 let pool_leak_check t = Ntcs_util.Pool.leak_check t.pool
 
+(* Wire the configured chooser into the scheduler, recording every
+   consulted choice as (index, arity) in the world's choice log. Replay
+   consumes a previously recorded log (choice indices only); exhausted or
+   out-of-range entries fall back to 0, the deterministic default, so a
+   log recorded on one schedule prefix replays safely on any world. *)
+let apply_chooser t =
+  match t.config.Config.chooser with
+  | Config.Default -> ()
+  | Config.Choose f ->
+    Sched.set_chooser t.sched
+      (Some
+         (fun ~time ~owners ->
+           let n = Array.length owners in
+           let i = f ~time ~owners in
+           let i = if i < 0 || i >= n then 0 else i in
+           t.choices <- (i, n) :: t.choices;
+           i))
+  | Config.Replay log ->
+    let rem = ref log in
+    Sched.set_chooser t.sched
+      (Some
+         (fun ~time:_ ~owners ->
+           let n = Array.length owners in
+           let c =
+             match !rem with
+             | [] -> 0
+             | c :: rest ->
+               rem := rest;
+               c
+           in
+           let i = if c < 0 || c >= n then 0 else c in
+           t.choices <- (i, n) :: t.choices;
+           i))
+
+(* The single construction entrypoint: build the record, then apply every
+   configured feature in one fixed order (limit, chooser, sanitizer,
+   faults) so callers can no longer sequence the old per-feature arms
+   wrongly. [races] is carried, not armed, here — the race checker lives
+   in Ntcs_check (above this library); it arms itself on any world whose
+   [mode] asks for it. *)
+let create ?(config = Config.default) () =
+  let t = make config in
+  if config.Config.event_limit > 0 then
+    Sched.set_event_limit t.sched config.Config.event_limit;
+  apply_chooser t;
+  if config.Config.sanitize then arm_pool_sanitizer t;
+  (match config.Config.faults with
+   | Some (spec : Faults.spec) ->
+     install_faults t
+       (Faults.create ~rules:spec.Faults.rules ~schedule:spec.Faults.schedule
+          ~seed:spec.Faults.seed ())
+   | None -> ());
+  t
+
 (* Schedule delivery of [size] bytes from [src] to [dst] over [net]; returns
    false when the attempt cannot even leave (partition, crash, detachment).
    The callback re-checks destination liveness at delivery time so a machine
@@ -355,3 +467,91 @@ let transmit ?fifo ?(droppable = false) t ~net:(n : Net.t) ~src:(src : Machine.t
   end
 
 let run ?until t = Sched.run ?until t.sched
+
+(* --- domain-parallel worlds ----------------------------------------- *)
+
+(* A parallel world is N completely isolated sequential worlds (one per
+   shard, each its own scheduler/trace/registry/rng/pool — the R8
+   ownership map proves lib/ has no ambient shared state) coupled only
+   through the Barrier coordinator's typed channels. Everything
+   deterministic about one world stays deterministic here: the barrier's
+   flush order is a pure function of virtual time and program order, so a
+   run is bit-identical for any worker count (see barrier.ml). *)
+module Par = struct
+  type world = t
+
+  type t = {
+    p_config : Config.t;
+    p_shards : world array;
+    p_barrier : Barrier.t;
+  }
+
+  (* Shard i's circuit ids live in [i*stride + 1, ...): merged span logs
+     stay world-unique without coordination. 10^6 circuits per shard
+     outruns any current workload by ~3 orders of magnitude. *)
+  let circuit_stride = 1_000_000
+
+  let create ?(quantum = 1_000) ?(namespace_circuits = true) ?shard_config
+      (config : Config.t) =
+    let n = max 1 config.Config.domains in
+    (* [shard_config] overrides the derived per-shard config — the replay
+       path needs it to feed shard i its own recorded choice log — but a
+       shard world is always sequential, whatever the override says. *)
+    let config_of i =
+      match shard_config with
+      | Some f -> { (f i) with Config.domains = 1 }
+      | None -> Config.shard config ~shard:i
+    in
+    let shards =
+      Array.init n (fun i ->
+          let w = create ~config:(config_of i) () in
+          Sched.set_label w.sched (Printf.sprintf "s%d" i);
+          if namespace_circuits && n > 1 then
+            Ntcs_obs.Registry.set_circuit_base w.metrics (i * circuit_stride);
+          w)
+    in
+    let barrier = Barrier.create ~quantum (Array.map (fun w -> w.sched) shards) in
+    { p_config = config; p_shards = shards; p_barrier = barrier }
+
+  let config p = p.p_config
+  let shards p = p.p_shards
+  let shard p i = p.p_shards.(i)
+  let shard_count p = Array.length p.p_shards
+  let barrier p = p.p_barrier
+  let quantum p = Barrier.quantum p.p_barrier
+
+  let chan p ~src ~dst ~latency = Barrier.Chan.create p.p_barrier ~src ~dst ~latency
+
+  let run ?until ?workers p = Barrier.run ?until ?workers p.p_barrier
+  let epochs p = Barrier.epochs p.p_barrier
+  let messages_exchanged p = Barrier.messages_exchanged p.p_barrier
+  let events_per_shard p = Array.map (fun w -> Sched.events_executed w.sched) p.p_shards
+
+  (* Merged logs. A stable sort on virtual time alone keeps, within one
+     instant, shard order and then each shard's own program order — the
+     same total order the barrier uses, so merged logs are as
+     deterministic as the run itself. *)
+  let merged_trace p =
+    Array.to_list p.p_shards
+    |> List.mapi (fun i w -> List.map (fun e -> (i, e)) (Trace.entries w.trace))
+    |> List.concat
+    |> List.stable_sort (fun (_, a) (_, b) -> compare a.Trace.at_us b.Trace.at_us)
+
+  let merged_trace_lines p =
+    merged_trace p |> List.map (fun (i, e) -> Format.asprintf "s%d %a" i Trace.pp_entry e)
+
+  let merged_spans p =
+    Array.to_list p.p_shards
+    |> List.concat_map (fun w -> Ntcs_obs.Registry.spans w.metrics)
+    |> List.stable_sort (fun (a : Ntcs_obs.Span.event) b ->
+           compare a.Ntcs_obs.Span.ev_at_us b.Ntcs_obs.Span.ev_at_us)
+
+  let blocked_processes p =
+    Array.to_list p.p_shards
+    |> List.concat_map (fun w -> Sched.blocked_processes w.sched)
+    |> List.sort String.compare
+
+  let choice_logs p = Array.map choice_log p.p_shards
+
+  let leak_check p = Array.fold_left (fun acc w -> acc + pool_leak_check w) 0 p.p_shards
+end

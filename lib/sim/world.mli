@@ -6,11 +6,76 @@
 
 type t
 
-val create : ?seed:int -> unit -> t
+(** Declarative world construction: one record naming every
+    instrumentation feature, replacing the accreted per-feature arms
+    ([install_faults], [arm_pool_sanitizer], the [{m_sanitize; m_races}]
+    record, chooser setters, [Sched.set_event_limit]) that callers
+    previously had to sequence by hand. All defaults are off, so
+    [create ()] is the plain deterministic seed-42 world and default-mode
+    traces stay byte-identical with earlier PRs. *)
+module Config : sig
+  (** Schedule-choice policy. [Choose] is the exploration hook (same
+      contract as [Sched.set_chooser]); every consulted choice is recorded
+      in the world's {!choice_log} as [(index, arity)]. [Replay] feeds a
+      previously recorded log back in — exhausted or out-of-range entries
+      fall back to owner 0, the deterministic default. *)
+  type chooser =
+    | Default
+    | Choose of (time:int -> owners:int array -> int)
+    | Replay of int list
+
+  type t = {
+    seed : int;
+    domains : int;  (** shard count for {!Par} worlds; 1 = sequential *)
+    faults : Faults.spec option;
+        (** declarative fault plane, armed at creation: scheduled events
+            registered on the scheduler, frame rules consulted by
+            {!transmit}, every injection a [fault.*] trace event *)
+    sanitize : bool;  (** arm the buffer-pool sanitizer on the world *)
+    races : bool;
+        (** request the happens-before race checker. Carried, not armed,
+            by this library — [Ntcs_check.Check_race.arm] lives above it
+            and arms itself on any world whose {!val-mode} asks for it *)
+    chooser : chooser;
+    event_limit : int;  (** abort backstop; 0 = unlimited *)
+  }
+
+  val default : t
+  (** [{seed = 42; domains = 1; faults = None; sanitize = false;
+      races = false; chooser = Default; event_limit = 0}] *)
+
+  val mode : t -> Sched.Mode.t
+  (** The scheduler-instrumentation view of this config. *)
+
+  val shard : t -> shard:int -> t
+  (** Per-shard copy: decorrelated seed (prime stride), [domains = 1].
+      Shard 0 keeps the base seed, so a 1-domain parallel world is the
+      sequential world. *)
+end
+
+val create : ?config:Config.t -> unit -> t
+(** The single construction entrypoint. Applies the config in one fixed
+    order: event limit, chooser, sanitizer, fault plane. *)
 
 (** {1 Accessors} *)
 
 val sched : t -> Sched.t
+
+val config : t -> Config.t
+
+val mode : t -> Sched.Mode.t
+(** [Config.mode (config t)]. *)
+
+val choice_log : t -> (int * int) list
+(** Every chooser consultation so far, oldest first, as [(choice index,
+    arity)] pairs. Empty under [Config.Default]. [Config.Replay (List.map
+    fst (choice_log w))] reproduces this world's schedule. *)
+
+val set_label : t -> string -> unit
+(** Tag this world's scheduler with a shard label (see
+    {!Sched.set_label}). *)
+
+val label : t -> string
 val metrics : t -> Ntcs_util.Metrics.t
 val trace : t -> Trace.t
 val rng : t -> Ntcs_util.Rng.t
@@ -75,13 +140,8 @@ val restart_machine : t -> Machine.t -> unit
 
 (** {1 Fault plane} *)
 
-val install_faults : t -> Faults.t -> unit
-(** Arm a fault plane on this world: its scheduled events (crashes,
-    restarts, partitions, heals, net outages) are registered on the
-    scheduler, every injection is emitted as a [fault.*] trace event, and
-    {!transmit} consults it for every frame from now on. *)
-
 val faults : t -> Faults.t option
+(** The armed fault plane, when [Config.faults] was given. *)
 
 (** {1 Shared cells}
 
@@ -95,13 +155,11 @@ val cell_topology : t -> Sched.cell
 val cell_procs : t -> Sched.cell
 val cell_faults : t -> Sched.cell
 
-(** {1 Pool sanitizer} *)
+(** {1 Pool sanitizer}
 
-val arm_pool_sanitizer : t -> unit
-(** Arm the buffer-pool sanitizer on this world's pool and point its
-    violation emitter at the world trace, so every violation is a
-    deterministic [pool.sanitizer.*] trace event stamped with virtual
-    time. Arm before traffic runs. *)
+    Armed declaratively via [Config.sanitize]; violations become
+    deterministic [pool.sanitizer.*] trace events stamped with virtual
+    time. *)
 
 val pool_leak_check : t -> int
 (** Emit the teardown leak report (one [pool.sanitizer.leak] event per
@@ -134,3 +192,78 @@ val transmit :
     [true] — the sender saw it leave; it died on the wire. *)
 
 val run : ?until:int -> t -> unit
+
+(** {1 Domain-parallel worlds}
+
+    A parallel world is [Config.domains] completely isolated sequential
+    worlds — one per shard, each with its own scheduler, trace, registry,
+    rng and pool (lint R8's ownership map proves [lib/] has no ambient
+    shared state) — coupled only through the {!Barrier} coordinator's
+    typed channels. Shard [i] runs under [Config.shard config ~shard:i]
+    and carries the label ["s<i>"]. Runs are bit-identical for any
+    [workers] value; see {!Barrier} for the determinism argument. *)
+module Par : sig
+  type world := t
+
+  type t
+
+  val create :
+    ?quantum:int ->
+    ?namespace_circuits:bool ->
+    ?shard_config:(int -> Config.t) ->
+    Config.t ->
+    t
+  (** Build [max 1 config.domains] shard worlds coupled by a barrier with
+      the given conservative quantum (virtual µs, default 1000 — every
+      cross-shard channel must have latency ≥ quantum).
+      [namespace_circuits] (default true) offsets shard [i]'s circuit-id
+      allocator by [i * 1_000_000] so merged span logs stay world-unique.
+      [shard_config] overrides the derived per-shard config (shard [i]
+      runs under [shard_config i] with [domains] forced back to 1) — the
+      replay path uses it to hand shard [i] its own recorded choice log
+      via [Config.Replay]. *)
+
+  val config : t -> Config.t
+  val shards : t -> world array
+  val shard : t -> int -> world
+  val shard_count : t -> int
+  val barrier : t -> Barrier.t
+  val quantum : t -> int
+
+  val chan : t -> src:int -> dst:int -> latency:int -> 'a Barrier.Chan.t
+  (** A typed cross-shard channel (see {!Barrier.Chan}). *)
+
+  val run : ?until:int -> ?workers:int -> t -> unit
+  (** Run the coupled world on [workers] domains (default 1); output is
+      bit-identical for every worker count. *)
+
+  val epochs : t -> int
+  val messages_exchanged : t -> int
+  val events_per_shard : t -> int array
+
+  val merged_trace : t -> (int * Trace.entry) list
+  (** All shards' trace entries merged, tagged with their shard index:
+      stable-sorted on virtual time, so within one instant shard order and
+      then per-shard program order are kept — the same total order the
+      barrier flush uses. *)
+
+  val merged_trace_lines : t -> string list
+  (** {!merged_trace} rendered one line per entry, prefixed ["s<i> "] —
+      the documented shard-tag field of parallel logs. *)
+
+  val merged_spans : t -> Ntcs_obs.Span.event list
+  (** All shards' span logs merged (stable on virtual time); circuit ids
+      are world-unique when [namespace_circuits] is on, so
+      [Ntcs_check.Check_spans.check] consumes this directly. *)
+
+  val blocked_processes : t -> string list
+  (** Every shard's {!Sched.blocked_processes} (already label-prefixed),
+      merged and sorted — the shard-stable teardown report. *)
+
+  val choice_logs : t -> (int * int) list array
+  (** Per-shard choice logs (see {!choice_log}); shard [i]'s log replays
+      via [Config.Replay] on shard [i] of an equal-topology world. *)
+
+  val leak_check : t -> int
+  (** Sum of every shard's {!pool_leak_check}. *)
+end

@@ -16,8 +16,8 @@ let raw_bytes b = Ntcs_wire.Convert.payload_raw b
 let body env = Bytes.to_string env.Ali_layer.data
 
 (* One TCP LAN: a VAX (NS host), a Sun and a second Sun. *)
-let lan_cluster ?seed ?tweak () =
-  Cluster.build ?seed ?tweak
+let lan_cluster ?seed ?config ?tweak () =
+  Cluster.build ?seed ?config ?tweak
     ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
     ~machines:
       [
@@ -28,8 +28,8 @@ let lan_cluster ?seed ?tweak () =
     ~ns:"vax1" ()
 
 (* TCP LAN + Apollo ring bridged by one prime gateway. *)
-let two_net_cluster ?seed ?tweak () =
-  Cluster.build ?seed ?tweak
+let two_net_cluster ?seed ?config ?tweak () =
+  Cluster.build ?seed ?config ?tweak
     ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan); ("ring", Ntcs_sim.Net.Mbx_ring) ]
     ~machines:
       [
@@ -42,8 +42,8 @@ let two_net_cluster ?seed ?tweak () =
     ~ns:"vax1" ()
 
 (* Three networks in a line, two gateways: lan1 -(gwA)- lan2 -(gwB)- ring. *)
-let three_net_cluster ?seed ?tweak () =
-  Cluster.build ?seed ?tweak
+let three_net_cluster ?seed ?config ?tweak () =
+  Cluster.build ?seed ?config ?tweak
     ~nets:
       [
         ("lan1", Ntcs_sim.Net.Tcp_lan);

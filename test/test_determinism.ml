@@ -62,17 +62,28 @@ let test_trace_identical () =
    plane's seeded stream, so the whole faulty run — injections included —
    must still be byte-reproducible. *)
 let run_once_faulty seed =
-  let c = two_net_cluster ~seed () in
-  Ntcs_sim.World.install_faults (Cluster.world c)
-    (Ntcs_sim.Faults.create
-       ~rules:
-         [ Ntcs_sim.Faults.rule ~from_us:4_000_000 ~dup:0.1 ~delay:0.3 ~delay_us:25_000 () ]
-       ~schedule:
-         [
-           (5_000_000, Ntcs_sim.Faults.Crash "ap1");
-           (7_000_000, Ntcs_sim.Faults.Restart "ap1");
-         ]
-       ~seed:13 ());
+  let config =
+    {
+      Ntcs_sim.World.Config.default with
+      Ntcs_sim.World.Config.seed;
+      faults =
+        Some
+          {
+            Ntcs_sim.Faults.seed = 13;
+            rules =
+              [
+                Ntcs_sim.Faults.rule ~from_us:4_000_000 ~dup:0.1 ~delay:0.3
+                  ~delay_us:25_000 ();
+              ];
+            schedule =
+              [
+                (5_000_000, Ntcs_sim.Faults.Crash "ap1");
+                (7_000_000, Ntcs_sim.Faults.Restart "ap1");
+              ];
+          };
+    }
+  in
+  let c = two_net_cluster ~config () in
   Cluster.settle c;
   spawn_echo c ~machine:"ap2" ~name:"svc";
   Cluster.settle c;

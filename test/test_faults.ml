@@ -20,20 +20,28 @@ open Helpers
    of the service's machine, and an app that keeps resending until the echo
    comes back. Returns (trace text, metrics text, cluster). *)
 let faulty_run ?(fault_seed = 7) () =
-  let c = lan_cluster ~seed:42 () in
-  Ntcs_sim.World.install_faults (Cluster.world c)
-    (Ntcs_sim.Faults.create
-       ~rules:
-         [
-           Ntcs_sim.Faults.rule ~from_us:5_000_000 ~until_us:15_000_000 ~drop:0.15 ~dup:0.1
-             ~delay:0.3 ~delay_us:20_000 ();
-         ]
-       ~schedule:
-         [
-           (6_000_000, Ntcs_sim.Faults.Partition [ [ "sun1" ]; [ "vax1"; "sun2" ] ]);
-           (10_000_000, Ntcs_sim.Faults.Heal);
-         ]
-       ~seed:fault_seed ());
+  let config =
+    {
+      Ntcs_sim.World.Config.default with
+      Ntcs_sim.World.Config.seed = 42;
+      faults =
+        Some
+          {
+            Ntcs_sim.Faults.seed = fault_seed;
+            rules =
+              [
+                Ntcs_sim.Faults.rule ~from_us:5_000_000 ~until_us:15_000_000 ~drop:0.15
+                  ~dup:0.1 ~delay:0.3 ~delay_us:20_000 ();
+              ];
+            schedule =
+              [
+                (6_000_000, Ntcs_sim.Faults.Partition [ [ "sun1" ]; [ "vax1"; "sun2" ] ]);
+                (10_000_000, Ntcs_sim.Faults.Heal);
+              ];
+          };
+    }
+  in
+  let c = lan_cluster ~config () in
   Cluster.settle c;
   spawn_echo c ~machine:"sun1" ~name:"svc";
   Cluster.settle c;
@@ -119,11 +127,21 @@ let test_faults_injected_and_traced () =
    commit once, traffic must still flow, and teardown must close each leg
    exactly once — the lifecycle automaton replay catches any double-close. *)
 let test_gateway_duplicate_open_idempotent () =
-  let c = two_net_cluster ~seed:5 () in
-  Ntcs_sim.World.install_faults (Cluster.world c)
-    (Ntcs_sim.Faults.create
-       ~rules:[ Ntcs_sim.Faults.rule ~from_us:3_000_000 ~until_us:20_000_000 ~dup:1.0 () ]
-       ~seed:11 ());
+  let config =
+    {
+      Ntcs_sim.World.Config.default with
+      Ntcs_sim.World.Config.seed = 5;
+      faults =
+        Some
+          {
+            Ntcs_sim.Faults.seed = 11;
+            rules =
+              [ Ntcs_sim.Faults.rule ~from_us:3_000_000 ~until_us:20_000_000 ~dup:1.0 () ];
+            schedule = [];
+          };
+    }
+  in
+  let c = two_net_cluster ~config () in
   Cluster.settle c;
   spawn_echo c ~machine:"ap1" ~name:"svc";
   Cluster.settle c;

@@ -41,7 +41,7 @@ type rig = {
 }
 
 let make_rig () =
-  let world = World.create ~seed:17 () in
+  let world = World.create ~config:{ World.Config.default with World.Config.seed = 17 } () in
   let lan = World.add_net world ~name:"lan" Net.Tcp_lan () in
   let ring = World.add_net world ~name:"ring" Net.Mbx_ring () in
   let vax = World.add_machine world ~name:"vax" Machine.Vax () in

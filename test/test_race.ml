@@ -68,7 +68,7 @@ let test_vc_join_monotone =
 (* --- the detector on small worlds --- *)
 
 let world () =
-  let w = World.create ~seed:11 () in
+  let w = World.create ~config:{ World.Config.default with World.Config.seed = 11 } () in
   let m = World.add_machine w ~name:"m1" Ntcs_sim.Machine.Vax () in
   (w, m)
 

@@ -190,7 +190,7 @@ let test_blocked_processes_diagnostic () =
 
 let test_determinism_across_runs () =
   let run () =
-    let w = World.create ~seed:99 () in
+    let w = World.create ~config:{ World.Config.default with World.Config.seed = 99 } () in
     let net = World.add_net w ~name:"n" Ntcs_sim.Net.Tcp_lan () in
     let m1 = World.add_machine w ~name:"m1" Ntcs_sim.Machine.Vax () in
     let m2 = World.add_machine w ~name:"m2" Ntcs_sim.Machine.Sun3 () in
@@ -208,7 +208,7 @@ let test_determinism_across_runs () =
   Alcotest.(check (list (pair int int))) "identical runs" (run ()) (run ())
 
 let test_fifo_transmit () =
-  let w = World.create ~seed:123 () in
+  let w = World.create ~config:{ World.Config.default with World.Config.seed = 123 } () in
   let net = World.add_net w ~name:"n" Ntcs_sim.Net.Tcp_lan () in
   let m1 = World.add_machine w ~name:"m1" Ntcs_sim.Machine.Vax () in
   let m2 = World.add_machine w ~name:"m2" Ntcs_sim.Machine.Sun3 () in

@@ -16,7 +16,7 @@ type rig = {
 }
 
 let make_rig () =
-  let world = World.create ~seed:23 () in
+  let world = World.create ~config:{ World.Config.default with World.Config.seed = 23 } () in
   let lan = World.add_net world ~name:"lan" Net.Tcp_lan () in
   let ring = World.add_net world ~name:"ring" Net.Mbx_ring () in
   let m1 = World.add_machine world ~name:"m1" Machine.Sun3 () in
