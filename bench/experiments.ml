@@ -1494,3 +1494,285 @@ let par_bench ~smoke () =
 
 let par_full () = par_bench ~smoke:false ()
 let par_smoke () = par_bench ~smoke:true ()
+
+(* ------------------------------------------------------------------ *)
+(* NAMING: the sharded naming plane (writes BENCH_naming.json)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Three measurements over the DESIGN.md §15 plane. (1) Lookup latency
+   against database size: one server preloaded with 10^3..10^6 names,
+   versioned lookups timed on the host CPU in batches, exact percentiles
+   over the batch means — the by-name index should keep the curve flat.
+   (2) Cache effectiveness: a four-shard world where a client re-resolves
+   a working set round after round; everything past round one should be
+   answered by the NSP cache (>= 90% hit rate). (3) A relocation storm:
+   the service's machine crashes and a new generation re-registers,
+   twice, with the client polling throughout — recovery time after the
+   final relocation, measured with the lookup cache on (versioned
+   invalidation doing the work) and off (ttl 0, every resolve a round
+   trip) — the cache must not slow recovery down. *)
+
+let naming_lookup_samples ~names ~batches ~batch =
+  let c =
+    Cluster.build
+      ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
+      ~machines:[ ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]) ]
+      ~ns:"vax1" ()
+  in
+  Cluster.settle c;
+  let ns = Cluster.primary_ns c in
+  Name_server.preload ns
+    (List.init names (fun i -> (Printf.sprintf "name-%07d" i, [])));
+  let rng = Ntcs_util.Rng.create (0x5EED + names) in
+  let stats = Ntcs_util.Stats.create () in
+  (* Warm the allocator and the hash tables before measuring. *)
+  for _ = 1 to batch do
+    ignore
+      (Name_server.handle_request ns
+         (Ns_proto.Lookup_v (Printf.sprintf "name-%07d" (Ntcs_util.Rng.int rng names), 0)))
+  done;
+  for _ = 1 to batches do
+    let queries =
+      Array.init batch (fun _ ->
+          Ns_proto.Lookup_v (Printf.sprintf "name-%07d" (Ntcs_util.Rng.int rng names), 0))
+    in
+    let t0 = Unix.gettimeofday () in
+    Array.iter (fun q -> ignore (Name_server.handle_request ns q)) queries;
+    let dt = Unix.gettimeofday () -. t0 in
+    Ntcs_util.Stats.add stats (dt *. 1e9 /. float_of_int batch)
+  done;
+  stats
+
+let sharded_config ?(ttl = Node.default_config.Node.ns_cache_ttl_us)
+    () =
+  let tweak cfg = { cfg with Node.ns_cache_ttl_us = ttl } in
+  let build ?faults () =
+    Cluster.build
+      ~config:
+        {
+          Ntcs_sim.World.Config.default with
+          Ntcs_sim.World.Config.naming =
+            { Ntcs_sim.World.Config.shards = 4; cache_capacity = 512 };
+          faults;
+        }
+      ~tweak
+      ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
+      ~machines:
+        [
+          ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]);
+          ("sun1", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+          ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+          ("ap1", Ntcs_sim.Machine.Apollo, [ "ether" ]);
+        ]
+      ~ns:"vax1" ~ns_replicas:[ "sun1"; "sun2" ] ()
+  in
+  build
+
+let naming_cache_run ~rounds ~working_set =
+  let c = sharded_config () () in
+  Cluster.settle c;
+  let names = List.init working_set (fun i -> Printf.sprintf "svc%d" i) in
+  List.iter (fun name -> spawn_echo c ~machine:"ap1" ~name) names;
+  Cluster.settle c;
+  ignore
+    (Cluster.spawn c ~machine:"sun2" ~name:"client" (fun node ->
+         match Commod.bind node ~name:"client" with
+         | Error _ -> ()
+         | Ok commod ->
+           for _ = 1 to rounds do
+             List.iter
+               (fun name -> match Ali_layer.locate commod name with Ok _ | Error _ -> ())
+               names;
+             Ntcs_sim.Sched.sleep (Node.sched node) 100_000
+           done));
+  Cluster.settle ~dt:(200_000 * rounds + 10_000_000) c;
+  Cluster.metrics c
+
+type storm_row = {
+  st_label : string;
+  st_recovery_us : int; (* virtual time from the last relocation to recovery *)
+  st_ns_lookups : int;
+  st_hits : int;
+  st_stale : int;
+  st_floor_raises : int;
+}
+
+let naming_storm_run ~label ~ttl =
+  let last_relocation = 15_000_000 in
+  let c =
+    sharded_config ~ttl ()
+      ~faults:
+        {
+          Ntcs_sim.Faults.seed = 0xBE9C;
+          rules = [];
+          schedule =
+            [
+              (6_000_000, Ntcs_sim.Faults.Crash "ap1");
+              (8_000_000, Ntcs_sim.Faults.Restart "ap1");
+              (12_000_000, Ntcs_sim.Faults.Crash "ap1");
+              (14_000_000, Ntcs_sim.Faults.Restart "ap1");
+            ];
+        }
+      ()
+  in
+  Cluster.settle c;
+  spawn_echo c ~machine:"ap1" ~name:"svc";
+  Cluster.settle c;
+  let respawn at =
+    Ntcs_sim.Sched.at (Cluster.sched c) at (fun () ->
+        spawn_echo c ~machine:"ap1" ~name:"svc")
+  in
+  respawn 9_000_000;
+  respawn last_relocation;
+  let recovered = ref (-1) in
+  ignore
+    (Cluster.spawn c ~machine:"sun2" ~name:"client" (fun node ->
+         match Commod.bind node ~name:"client" with
+         | Error _ -> ()
+         | Ok commod ->
+           let sched = Node.sched node in
+           let rec poll () =
+             if Ntcs_sim.Sched.now sched > 35_000_000 || !recovered >= 0 then ()
+             else begin
+               (match Ali_layer.locate commod "svc" with
+                | Error _ -> ()
+                | Ok addr -> (
+                  match
+                    Ali_layer.send_sync commod ~dst:addr ~timeout_us:800_000 (raw "probe")
+                  with
+                  | Ok _ when Ntcs_sim.Sched.now sched > last_relocation ->
+                    recovered := Ntcs_sim.Sched.now sched
+                  | Ok _ | Error _ -> ()));
+               Ntcs_sim.Sched.sleep sched 800_000;
+               poll ()
+             end
+           in
+           poll ()));
+  Cluster.settle ~dt:40_000_000 c;
+  let m = Cluster.metrics c in
+  {
+    st_label = label;
+    st_recovery_us = (if !recovered < 0 then -1 else !recovered - last_relocation);
+    st_ns_lookups = Ntcs_util.Metrics.get m "ns.lookups";
+    st_hits = Ntcs_util.Metrics.get m "nsp.cache_hits";
+    st_stale = Ntcs_util.Metrics.get m "nsp.cache_stale";
+    st_floor_raises = Ntcs_util.Metrics.get m "nsp.cache_invalidations";
+  }
+
+let naming_bench ~smoke () =
+  Bench_util.header
+    (if smoke then "NAMING (smoke): sharded naming-plane slice"
+     else "NAMING: sharded naming plane (writes BENCH_naming.json)")
+    "DESIGN.md §15; §3.3 resolution caching under §3.5 reconfiguration";
+  (* (1) lookup latency vs database size *)
+  let name_counts = if smoke then [ 1_000 ] else [ 1_000; 10_000; 100_000; 1_000_000 ] in
+  let batches = if smoke then 40 else 100 in
+  let batch = 200 in
+  let latency_rows =
+    List.map (fun n -> (n, naming_lookup_samples ~names:n ~batches ~batch)) name_counts
+  in
+  Printf.printf "  versioned lookup latency vs preloaded names (host ns/lookup, batch means):\n\n";
+  Bench_util.table
+    ~columns:[ "names"; "batches"; "p50"; "p95"; "p99" ]
+    (List.map
+       (fun (n, s) ->
+         [
+           string_of_int n;
+           string_of_int (Ntcs_util.Stats.count s);
+           Printf.sprintf "%.0f ns" (Ntcs_util.Stats.percentile s 50.);
+           Printf.sprintf "%.0f ns" (Ntcs_util.Stats.percentile s 95.);
+           Printf.sprintf "%.0f ns" (Ntcs_util.Stats.percentile s 99.);
+         ])
+       latency_rows);
+  (* (2) cache hit rate on a repeated working set *)
+  let rounds = if smoke then 10 else 50 in
+  let working_set = 6 in
+  let m = naming_cache_run ~rounds ~working_set in
+  let hits = Ntcs_util.Metrics.get m "nsp.cache_hits" in
+  let stale = Ntcs_util.Metrics.get m "nsp.cache_stale" in
+  let misses = Ntcs_util.Metrics.get m "nsp.cache_misses" in
+  let hit_rate =
+    if hits + stale + misses = 0 then 0.
+    else 100. *. float_of_int hits /. float_of_int (hits + stale + misses)
+  in
+  Printf.printf
+    "\n  cache on a %d-name working set over %d rounds (4 shards): %d hits, %d stale, \
+     %d misses — hit rate %.1f%%\n"
+    working_set rounds hits stale misses hit_rate;
+  Printf.printf "  paper-shape check: %s\n"
+    (if hit_rate >= 90. then "HOLDS — repeated resolution is answered locally"
+     else "VIOLATED — cache hit rate under 90%");
+  (* (3) relocation storm, cache on vs off *)
+  let storms =
+    if smoke then []
+    else
+      [
+        naming_storm_run ~label:"cache on (versioned invalidation)"
+          ~ttl:Node.default_config.Node.ns_cache_ttl_us;
+        naming_storm_run ~label:"cache off (ttl 0)" ~ttl:0;
+      ]
+  in
+  if storms <> [] then begin
+    Printf.printf "\n  relocation storm (2 crash/re-register cycles, client polling):\n\n";
+    Bench_util.table
+      ~columns:[ "configuration"; "recovery"; "ns lookups"; "hits"; "stale"; "floor raises" ]
+      (List.map
+         (fun r ->
+           [
+             r.st_label;
+             (if r.st_recovery_us < 0 then "never"
+              else Printf.sprintf "%d us" r.st_recovery_us);
+             string_of_int r.st_ns_lookups;
+             string_of_int r.st_hits;
+             string_of_int r.st_stale;
+             string_of_int r.st_floor_raises;
+           ])
+         storms)
+  end;
+  if not smoke then begin
+    let b = Buffer.create 2048 in
+    Buffer.add_string b "{\n  \"schema\": \"ntcs.bench.naming/1\",\n  \"shards\": 4,\n";
+    Buffer.add_string b "  \"lookup_latency_vs_names\": [\n    ";
+    Buffer.add_string b
+      (String.concat ",\n    "
+         (List.map
+            (fun (n, s) ->
+              Printf.sprintf
+                "{\"names\":%d,\"batches\":%d,\"batch\":%d,\"p50_ns\":%.0f,\
+                 \"p95_ns\":%.0f,\"p99_ns\":%.0f}"
+                n (Ntcs_util.Stats.count s) batch
+                (Ntcs_util.Stats.percentile s 50.)
+                (Ntcs_util.Stats.percentile s 95.)
+                (Ntcs_util.Stats.percentile s 99.))
+            latency_rows));
+    Buffer.add_string b "\n  ],\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"cache\": {\"working_set\":%d,\"rounds\":%d,\"hits\":%d,\"stale\":%d,\
+          \"misses\":%d,\"hit_rate_pct\":%.1f},\n"
+         working_set rounds hits stale misses hit_rate);
+    Buffer.add_string b "  \"relocation_storm\": {\n    ";
+    Buffer.add_string b
+      (String.concat ",\n    "
+         (List.map
+            (fun r ->
+              Printf.sprintf
+                "\"%s\": {\"recovery_us\":%d,\"ns_lookups\":%d,\"cache_hits\":%d,\
+                 \"cache_stale\":%d,\"floor_raises\":%d}"
+                (if r.st_stale + r.st_hits > 0 || r.st_floor_raises > 0 then "cache_on"
+                 else "cache_off")
+                r.st_recovery_us r.st_ns_lookups r.st_hits r.st_stale r.st_floor_raises)
+            storms));
+    Buffer.add_string b "\n  },\n";
+    Buffer.add_string b
+      "  \"note\": \"lookup latency fields are host timings and vary per machine; \
+       cache and storm fields are virtual-time/deterministic and do not.\"\n}\n";
+    let oc = open_out "BENCH_naming.json" in
+    Buffer.output_buffer oc b;
+    close_out oc;
+    Printf.printf
+      "\n  wrote BENCH_naming.json (latency fields vary per machine; cache/storm fields do not)\n"
+  end
+
+let naming_full () = naming_bench ~smoke:false ()
+let naming_smoke () = naming_bench ~smoke:true ()

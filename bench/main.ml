@@ -29,6 +29,10 @@ let experiments =
      Experiments.par_full);
     ("par-smoke", "PAR (smoke): 1/2-domain slice of the parallel-world bench",
      Experiments.par_smoke);
+    ("naming", "NAMING: sharded naming plane (writes BENCH_naming.json)",
+     Experiments.naming_full);
+    ("naming-smoke", "NAMING (smoke): sharded naming-plane slice",
+     Experiments.naming_smoke);
   ]
 
 let () =

@@ -5,6 +5,7 @@
           ntcs_check --static-only [PATH]... skip schedule exploration
           ntcs_check --budget N              schedule cap per scenario
           ntcs_check --faults                fault-plane soak scenarios only
+          ntcs_check --naming                sharded naming-plane scenarios only
           ntcs_check --sanitize              arm the pool sanitizer in scenarios
           ntcs_check --races                 arm the happens-before race checker
           ntcs_check --par N                 domain-parallel validation pass
@@ -44,6 +45,24 @@ let run_faults json budget min_schedules sanitize races =
   end;
   if bad then 1 else 0
 
+(* The naming-plane soak (`@naming`): the sharded scenarios of DESIGN.md
+   §15 — shard routing, relocation vs cached lookups, shard loss — under
+   the same volume-and-silence contract as the fault soaks, with the
+   cache-coherence trace invariant checked on every schedule. *)
+let run_naming json budget min_schedules sanitize races =
+  let explorations = Check.explore_naming ~max_schedules:budget ~sanitize ~races () in
+  let bad = List.exists (Check.fault_exploration_failed ~min_schedules) explorations in
+  if json then
+    Format.printf "{\"naming\":%s}@." (Check.exploration_to_json explorations)
+  else begin
+    List.iter (Check.report_exploration Format.std_formatter) explorations;
+    if bad then Format.printf "ntcs_check: naming soak failures@."
+    else
+      Format.printf "ntcs_check: naming soak clean (>= %d schedules per scenario)@."
+        min_schedules
+  end;
+  if bad then 1 else 0
+
 (* Domain-parallel validation (DESIGN.md §14): every bounded scenario and
    fault soak replicated on [n] concurrent domains (byte-identical traces
    required), plus the coupled barrier soak on an [n]-shard world run
@@ -73,8 +92,9 @@ let run_par json n =
   end;
   if bad then 1 else 0
 
-let run static_only faults json budget min_schedules sanitize races par paths =
+let run static_only faults naming json budget min_schedules sanitize races par paths =
   if par > 0 then run_par json par
+  else if naming then run_naming json budget min_schedules sanitize races
   else if faults then run_faults json budget min_schedules sanitize races
   else
     match check_paths paths with
@@ -124,6 +144,18 @@ let faults_arg =
            fault plane armed). Truncation at the budget is acceptable; \
            each scenario must instead complete the minimum number of \
            failure-free schedules.")
+
+let naming_arg =
+  Arg.(
+    value & flag
+    & info [ "naming" ]
+        ~doc:
+          "Run only the sharded naming-plane scenarios (DESIGN.md §15): \
+           shard routing with all owners alive, §3.5 relocation racing \
+           cached lookups, and shard loss with failover through the \
+           surviving replicas. Every schedule is additionally checked for \
+           lookup-cache coherence. Same soak contract as $(b,--faults). \
+           The `@naming` dune alias runs this.")
 
 let budget_arg =
   Arg.(
@@ -195,7 +227,7 @@ let cmd =
   Cmd.v
     (Cmd.info "ntcs_check" ~doc ~man)
     Term.(
-      const run $ static_arg $ faults_arg $ json_arg $ budget_arg $ min_schedules_arg
-      $ sanitize_arg $ races_arg $ par_arg $ paths_arg)
+      const run $ static_arg $ faults_arg $ naming_arg $ json_arg $ budget_arg
+      $ min_schedules_arg $ sanitize_arg $ races_arg $ par_arg $ paths_arg)
 
 let () = exit (Cmd.eval' cmd)

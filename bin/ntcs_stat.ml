@@ -3,7 +3,7 @@
    per-circuit hop timelines reconstructed from the causal span log.
 
    Usage: dune exec bin/ntcs_stat.exe -- [--seed N] [--faults] [--json]
-                                         [--pool] [--sanitize]
+                                         [--pool] [--sanitize] [--naming]
                                          [--chrome FILE] [--spans FILE]
 
    Everything is deterministic: the same --seed prints the same report and
@@ -24,15 +24,21 @@ let raw s = Ntcs_wire.Convert.payload_raw (Bytes.of_string s)
    and pings across the gateway. Small but it exercises every span source:
    circuit opens, all five LCM primitives, gateway forwards, and (with
    --faults) the retry path. *)
-let run_workload ~seed ~faults ~sanitize =
+let run_workload ~seed ~faults ~sanitize ~naming =
   (* One declarative World.Config: the sanitizer is armed at creation
      (hand-outs predating the tracker would read as foreign on release)
-     and the fault plane's seeded rules ride in the same record. *)
+     and the fault plane's seeded rules ride in the same record. With
+     --naming the name space is served by the four-shard plane (DESIGN.md
+     §15) and the driver re-resolves the worker before every call, so the
+     report shows the NSP lookup cache and the shard router at work. *)
   let config =
     {
       Ntcs_sim.World.Config.default with
       Ntcs_sim.World.Config.seed;
       sanitize;
+      naming =
+        (if naming then { Ntcs_sim.World.Config.shards = 4; cache_capacity = 512 }
+         else Ntcs_sim.World.Config.default_naming);
       faults =
         (if not faults then None
          else
@@ -59,7 +65,9 @@ let run_workload ~seed ~faults ~sanitize =
           ("sun1", Ntcs_sim.Machine.Sun3, [ "ether" ]);
         ]
       ~gateways:[ ("bridge-gw", "bridge", [ "ether"; "ring" ]) ]
-      ~ns:"vax1" ()
+      ~ns:"vax1"
+      ~ns_replicas:(if naming then [ "sun1"; "bridge" ] else [])
+      ()
   in
   Cluster.settle cluster;
   ignore
@@ -85,6 +93,9 @@ let run_workload ~seed ~faults ~sanitize =
            | Error _ -> ()
            | Ok addr ->
              for _ = 1 to 6 do
+               (* Under --naming, re-resolve before every call: after the
+                  first miss these locates are what the cache answers. *)
+               if naming then ignore (Ali_layer.locate commod "worker");
                ignore
                  (Ali_layer.send_sync commod ~dst:addr ~timeout_us:10_000_000
                     (raw "measured call"));
@@ -154,6 +165,40 @@ let pool_report ~sanitize r =
           "frame.bytes_copied: count %d  sum %d  p50 %d  p95 %d  p99 %d  max %d\n"
           (Histo.count h) (Histo.sum h) (Histo.p50 h) (Histo.p95 h) (Histo.p99 h)
           (Histo.max_value h)));
+  Buffer.contents b
+
+(* --- naming-plane report (--naming) --- *)
+
+(* What the sharded name service cost and saved: NSP lookup-cache traffic
+   (hit rate is the headline), invalidation work (client floor raises and
+   owner generation bumps), the shard router's forwards and fallbacks,
+   and how the lookup load spread over the shards. *)
+let naming_report r =
+  let b = Buffer.create 512 in
+  let get = Ntcs_util.Metrics.get r in
+  let hits = get "nsp.cache_hits" in
+  let stale = get "nsp.cache_stale" in
+  let misses = get "nsp.cache_misses" in
+  Buffer.add_string b "-- naming plane (4 shards) --\n";
+  Buffer.add_string b
+    (Printf.sprintf "lookup cache: %d hits, %d stale, %d misses (hit rate %s)\n" hits
+       stale misses
+       (if hits + stale + misses = 0 then "n/a"
+        else
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int hits /. float_of_int (hits + stale + misses))));
+  Buffer.add_string b
+    (Printf.sprintf "invalidations: %d owner generation bumps, %d cache floor raises\n"
+       (get "ns.invalidations") (get "nsp.cache_invalidations"));
+  Buffer.add_string b
+    (Printf.sprintf "shard router: %d forwards, %d fallbacks; client failovers: %d\n"
+       (get "ns.shard.forwards") (get "ns.shard.fallbacks") (get "nsp.failovers"));
+  Buffer.add_string b "per-shard lookups:";
+  for shard = 0 to 3 do
+    Buffer.add_string b
+      (Printf.sprintf "  shard%d %d" shard (get (Printf.sprintf "ns.shard%d.lookups" shard)))
+  done;
+  Buffer.add_string b "\n";
   Buffer.contents b
 
 (* --- per-circuit timelines --- *)
@@ -259,8 +304,8 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let report ~seed ~faults ~json ~pool ~sanitize ~chrome ~spans_out =
-  let r = run_workload ~seed ~faults ~sanitize in
+let report ~seed ~faults ~json ~pool ~sanitize ~naming ~chrome ~spans_out =
+  let r = run_workload ~seed ~faults ~sanitize ~naming in
   (match chrome with
    | Some path ->
      write_file path (Export.chrome_trace r);
@@ -273,13 +318,18 @@ let report ~seed ~faults ~json ~pool ~sanitize ~chrome ~spans_out =
    | None -> ());
   if json then print_string (json_report r)
   else begin
-    Printf.printf "== NTCS observability report (seed %d%s%s) ==\n\n" seed
+    Printf.printf "== NTCS observability report (seed %d%s%s%s) ==\n\n" seed
       (if faults then ", fault plane armed" else "")
-      (if sanitize then ", pool sanitizer armed" else "");
+      (if sanitize then ", pool sanitizer armed" else "")
+      (if naming then ", 4-shard naming plane" else "");
     print_string (layer_table r);
     print_newline ();
     if pool || sanitize then begin
       print_string (pool_report ~sanitize r);
+      print_newline ()
+    end;
+    if naming then begin
+      print_string (naming_report r);
       print_newline ()
     end;
     print_string (circuit_report r);
@@ -310,6 +360,14 @@ let () =
                    poison canary hits, double/foreign releases, and buffers \
                    still outstanding at teardown.")
   in
+  let naming =
+    Arg.(value & flag
+         & info [ "naming" ]
+             ~doc:"Serve the workload's name space from the four-shard naming \
+                   plane (replica name servers, NSP lookup caches) and print \
+                   the naming section: cache hit rate, invalidation work, \
+                   shard-router forwards/fallbacks and per-shard lookup load.")
+  in
   let chrome =
     Arg.(value & opt (some string) None
          & info [ "chrome" ] ~docv:"FILE"
@@ -320,9 +378,9 @@ let () =
          & info [ "spans" ] ~docv:"FILE" ~doc:"Write span events as JSONL.")
   in
   let term =
-    Term.(const (fun seed faults json pool sanitize chrome spans_out ->
-              report ~seed ~faults ~json ~pool ~sanitize ~chrome ~spans_out)
-          $ seed $ faults $ json $ pool $ sanitize $ chrome $ spans_out)
+    Term.(const (fun seed faults json pool sanitize naming chrome spans_out ->
+              report ~seed ~faults ~json ~pool ~sanitize ~naming ~chrome ~spans_out)
+          $ seed $ faults $ json $ pool $ sanitize $ naming $ chrome $ spans_out)
   in
   exit
     (Cmd.eval'

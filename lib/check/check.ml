@@ -52,6 +52,18 @@ let explore_faults ?max_schedules ?(sanitize = false) ?(races = false) () =
         x_outcome = Check_scenarios.explore ?max_schedules ~mode sc })
     Check_scenarios.faults
 
+(* Naming-plane soaks (`ntcs_check --naming` / `@naming`): the sharded
+   scenarios under the same volume-and-silence contract as the fault
+   soaks — their worlds run four name servers plus the fault plane, so
+   the trees are unbounded too. *)
+let explore_naming ?max_schedules ?(sanitize = false) ?(races = false) () =
+  let mode = mode ~sanitize ~races in
+  List.map
+    (fun sc ->
+      { x_scenario = sc.Check_scenarios.sc_name;
+        x_outcome = Check_scenarios.explore ?max_schedules ~mode sc })
+    Check_scenarios.naming
+
 let fault_exploration_failed ?(min_schedules = 100) x =
   let o = x.x_outcome in
   o.Ntcs_sim.Explore.failures <> []

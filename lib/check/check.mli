@@ -28,6 +28,11 @@ val explore_faults :
 (** Run the {!Check_scenarios.faults} soaks under a schedule budget,
     optionally with the pool sanitizer and/or race checker armed. *)
 
+val explore_naming :
+  ?max_schedules:int -> ?sanitize:bool -> ?races:bool -> unit -> exploration list
+(** Run the {!Check_scenarios.naming} sharded-naming scenarios under a
+    schedule budget — same soak contract as {!explore_faults}. *)
+
 val fault_exploration_failed : ?min_schedules:int -> exploration -> bool
 (** The soak contract: any violation fails; truncation is acceptable but
     only past [min_schedules] (default 100) failure-free schedules. *)

@@ -157,8 +157,10 @@ let ns_requests : (string * string) list =
   [
     ("Register", "R_registered");
     ("Lookup", "R_addr");
+    ("Lookup_v", "R_addr_v");
     ("Lookup_attrs", "R_entries");
     ("Resolve", "R_entry");
+    ("Resolve_v", "R_entry_v");
     ("Forward", "R_forward");
     ("Deregister", "R_ok");
     ("List_gateways", "R_entries");
@@ -168,7 +170,10 @@ let ns_requests : (string * string) list =
 
 (* Ns_proto.response constructors, in declaration order. *)
 let ns_responses =
-  [ "R_registered"; "R_addr"; "R_entry"; "R_entries"; "R_forward"; "R_ok"; "R_sync"; "R_error" ]
+  [
+    "R_registered"; "R_addr"; "R_addr_v"; "R_entry"; "R_entry_v"; "R_entries";
+    "R_forward"; "R_ok"; "R_sync"; "R_error";
+  ]
 
 (* Modules that implement the naming-service server side: they must handle
    every request. *)

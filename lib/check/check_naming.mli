@@ -1,0 +1,10 @@
+(** Cache-coherence invariants of the sharded naming plane (DESIGN.md §15),
+    checked over the structured trace: per-(actor, shard) store-generation
+    monotonicity, the generation-floor discipline ("an invalidated entry is
+    never served fresh again"), the stale-hit-resolves-as-miss splice rule,
+    and the one-hop bound on shard-router forwarding. *)
+
+val check : Ntcs_sim.Trace.entry list -> string list
+(** One message per violation; empty = coherent. Traces without any
+    [ns.cache.*] / [ns.shard.*] events (an unsharded naming plane)
+    trivially pass. *)

@@ -43,12 +43,14 @@ type scenario = {
    at creation (before any hand-out), fault plane likewise. [races] rides
    in the config too, but arming the checker is this library's job (the
    sim layer sits below Check_race) — see [built]. *)
-let config_of_mode ?faults (mode : Mode.t) =
+let config_of_mode ?faults ?(naming = Ntcs_sim.World.Config.default_naming)
+    (mode : Mode.t) =
   {
     Ntcs_sim.World.Config.default with
     Ntcs_sim.World.Config.sanitize = mode.Mode.sanitize;
     races = mode.Mode.races;
     faults;
+    naming;
   }
 
 let payload s = Ntcs_wire.Convert.payload_raw (Bytes.of_string s)
@@ -137,7 +139,9 @@ let trace_violations ?recursion_limit mode c =
       (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
       (Check_spans.check (Ntcs_obs.Registry.spans (Cluster.metrics c)))
   in
-  r3 @ lifecycle @ crashes @ spans @ sanitizer_violations mode c @ race_violations mode c
+  let naming = Check_naming.check entries in
+  r3 @ lifecycle @ crashes @ spans @ naming @ sanitizer_violations mode c
+  @ race_violations mode c
 
 (* §6.1 first send, across a gateway: NS on the LAN, service on the ring.
    Every schedule must deliver the echo and keep every circuit lifecycle
@@ -270,6 +274,7 @@ let trace_violations_crashes_expected mode c =
     (fun v -> Format.asprintf "%a" Lint_trace.pp_violation v)
     (Lint_trace.check_all entries @ Check_lifecycle.check entries
     @ Check_spans.check (Ntcs_obs.Registry.spans (Cluster.metrics c)))
+  @ Check_naming.check entries
   @ sanitizer_violations mode c @ race_violations mode c
 
 let lan3 ?tweak ?faults mode =
@@ -517,7 +522,240 @@ let fault_ns_partition_noguard =
     sc_make = make;
   }
 
+(* ----- sharded naming plane (DESIGN.md §15, PR 9) -----
+
+   Four shards round-robin over the three LAN machines (vax1 owns 0 and 3,
+   sun1 owns 1, sun2 owns 2) plus [ap1], a shard-less machine that hosts
+   the service under test so it can crash without taking a name server
+   with it. [trace_violations] already folds in [Check_naming], so every
+   schedule of every scenario below is also checked for cache coherence:
+   no stale hit ever resolves as fresh, store generations never go
+   backwards, shard forwarding stays within one hop. *)
+
+let sharded_naming = { Ntcs_sim.World.Config.shards = 4; cache_capacity = 64 }
+
+let lan4_sharded ?tweak ?faults mode =
+  Cluster.build ~config:(config_of_mode ?faults ~naming:sharded_naming mode) ?tweak
+    ~nets:[ ("ether", Ntcs_sim.Net.Tcp_lan) ]
+    ~machines:
+      [
+        ("vax1", Ntcs_sim.Machine.Vax, [ "ether" ]);
+        ("sun1", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+        ("sun2", Ntcs_sim.Machine.Sun3, [ "ether" ]);
+        ("ap1", Ntcs_sim.Machine.Apollo, [ "ether" ]);
+      ]
+    ~ns:"vax1" ~ns_replicas:[ "sun1"; "sun2" ] ()
+  |> built mode
+
+(* First name (from a deterministic candidate stream) owned by [shard]
+   under the 4-way FNV map — lets a scenario pin where a binding lives. *)
+let name_on_shard shard =
+  let rec pick i =
+    let n = Printf.sprintf "svc%d" i in
+    if Ntcs_naming.Shard_map.hash_name n mod 4 = shard then n else pick (i + 1)
+  in
+  pick 0
+
+(* Shard routing with every owner alive: an app resolves a service through
+   its versioned cache (second locate must hit), and a Lookup_v planted on
+   a *non-owner* server must come back relayed from the owner — one
+   name-to-name hop, owner generation attached. *)
+let naming_shard_route =
+  let make mode =
+    let c = lan4_sharded mode in
+    let errs = ref [] in
+    let svc_shard = Ntcs_naming.Shard_map.hash_name "svc" mod 4 in
+    let non_owner = Addr.unique ~server_id:((svc_shard + 1) mod 4) ~value:0 in
+    let body () =
+      Cluster.settle c;
+      spawn_echo c ~machine:"ap1" ~name:"svc" errs;
+      Cluster.settle c;
+      let outcome = ref `Not_run in
+      ignore
+        (Cluster.spawn c ~machine:"sun2" ~name:"app" (fun node ->
+             match Commod.bind node ~name:"app" with
+             | Error e -> outcome := `Err ("bind: " ^ Errors.to_string e)
+             | Ok commod -> (
+               match (Ali_layer.locate commod "svc", Ali_layer.locate commod "svc") with
+               | Error e, _ | _, Error e ->
+                 outcome := `Err ("locate: " ^ Errors.to_string e)
+               | Ok addr, Ok addr2 when not (Addr.equal addr addr2) ->
+                 outcome := `Err "cached locate disagrees with the first"
+               | Ok addr, Ok _ -> (
+                 match Ali_layer.send_sync commod ~dst:addr (payload "route") with
+                 | Error e -> outcome := `Err ("send_sync: " ^ Errors.to_string e)
+                 | Ok env -> (
+                   (* Plant the versioned lookup on a non-owner: the shard
+                      router must relay the owner's answer. *)
+                   match
+                     Lcm_layer.send_sync (Commod.lcm commod) ~dst:non_owner
+                       ~app_tag:Ns_proto.app_tag
+                       (Ntcs_wire.Convert.payload_raw
+                          (Ns_proto.pack_request (Ns_proto.Lookup_v ("svc", 0))))
+                   with
+                   | Error e -> outcome := `Err ("routed lookup: " ^ Errors.to_string e)
+                   | Ok renv -> (
+                     match Ns_proto.unpack_response renv.Lcm_layer.data with
+                     | Ok (Ns_proto.R_addr_v (raddr, rshard, rgen)) ->
+                       outcome :=
+                         `Routed (Bytes.to_string env.Ali_layer.data, raddr, addr, rshard, rgen)
+                     | Ok (Ns_proto.R_error m) ->
+                       outcome := `Err ("routed lookup refused: " ^ m)
+                     | Ok _ -> outcome := `Err "routed lookup: unexpected response"
+                     | Error m -> outcome := `Err ("routed lookup: " ^ m)))))));
+      Cluster.settle ~dt:30_000_000 c;
+      let outcome_errs =
+        match !outcome with
+        | `Routed ("echo:route", raddr, addr, rshard, rgen) ->
+          (if Addr.equal raddr addr then []
+           else [ "routed lookup answered a different address" ])
+          @ (if rshard = svc_shard then []
+             else [ Printf.sprintf "routed lookup named shard %d, not %d" rshard svc_shard ])
+          @ (if rgen >= 1 then []
+             else [ "routed answer came back unversioned (owner should have stamped it)" ])
+        | `Routed (other, _, _, _, _) -> [ Printf.sprintf "wrong reply %S" other ]
+        | `Err e -> [ e ]
+        | `Not_run -> [ "app never completed" ]
+      in
+      !errs @ outcome_errs
+      @ metric_at_least c "ns.shard.forwards" 1 "shard router never forwarded"
+      @ metric_at_least c "nsp.cache_hits" 1 "second locate never hit the cache"
+      @ trace_violations mode c
+    in
+    (Cluster.world c, body)
+  in
+  { sc_name = "naming-shard-route"; sc_from = 4_000_000; sc_until = 4_100_000; sc_make = make }
+
+(* §3.5 relocation racing a cached lookup: the service's machine crashes and
+   a new generation re-registers under the same name; the owner's bumped
+   generation must retire every cached copy of the old answer. A chaser
+   holds the stale address (heals through the fault oracle: splice repair);
+   a looker keeps resolving the name through its versioned cache. On every
+   interleaving the splice repair must win — stale hits resolve as misses,
+   never as deliveries on the old circuit (Check_naming). *)
+let naming_stale_splice =
+  let make mode =
+    let c =
+      lan4_sharded
+        ~faults:
+          {
+            Ntcs_sim.Faults.seed = 0xFA15;
+            rules = [];
+            schedule =
+              [
+                (6_000_000, Ntcs_sim.Faults.Crash "ap1");
+                (8_000_000, Ntcs_sim.Faults.Restart "ap1");
+              ];
+          }
+        mode
+    in
+    let errs = ref [] in
+    let body () =
+      Cluster.settle c;
+      spawn_echo c ~machine:"ap1" ~name:"svc" errs;
+      Cluster.settle c;
+      (* The relocated generation, once the machine is back. *)
+      Ntcs_sim.Sched.at (Cluster.sched c) 9_000_000 (fun () ->
+          spawn_echo c ~machine:"ap1" ~name:"svc" errs);
+      let outcome = ref `Not_run in
+      spawn_chaser c ~machine:"sun2" ~text:"gen2" ~give_up_us:38_000_000 outcome;
+      (* The looker: resolve through the versioned cache across the whole
+         relocation, then keep the final answer. *)
+      let looked = ref `Not_run in
+      ignore
+        (Cluster.spawn c ~machine:"sun1" ~name:"looker" (fun node ->
+             match Commod.bind node ~name:"looker" with
+             | Error e -> looked := `Err ("looker bind: " ^ Errors.to_string e)
+             | Ok commod ->
+               let sched = Node.sched node in
+               let rec look () =
+                 if Ntcs_sim.Sched.now sched > 38_000_000 then ()
+                 else begin
+                   (match Ali_layer.locate commod "svc" with
+                    | Ok addr -> looked := `Located addr
+                    | Error _ -> ());
+                   Ntcs_sim.Sched.sleep sched 1_500_000;
+                   look ()
+                 end
+               in
+               look ()));
+      Cluster.settle ~dt:45_000_000 c;
+      let looker_errs =
+        match !looked with
+        | `Located _ -> []
+        | `Err e -> [ e ]
+        | `Not_run -> [ "looker never resolved svc" ]
+      in
+      !errs @ chaser_errs ~text:"gen2" outcome @ looker_errs
+      @ metric_at_least c "lcm.relocations" 1 "stale address never healed through the oracle"
+      @ metric_at_least c "ns.invalidations" 1 "relocation never bumped a shard generation"
+      @ metric_at_least c "nsp.cache_hits" 1 "the versioned cache was never consulted"
+      @ trace_violations mode c
+    in
+    (Cluster.world c, body)
+  in
+  { sc_name = "naming-stale-splice"; sc_from = 5_000_000; sc_until = 39_000_000; sc_make = make }
+
+(* Shard loss: the machine owning the probe name's shard crashes (taking
+   that name server with it — no restart). A fresh app must still bind,
+   resolve the name and reach the service: owner-first lookup fails over
+   down the replica list, the surviving shard router's forward to the dead
+   owner degrades into a backup answer (unversioned), and delivery
+   succeeds through replication. *)
+let naming_shard_loss =
+  let probe = name_on_shard 1 (* owned by the name server hosted on sun1 *) in
+  let make mode =
+    let c =
+      lan4_sharded
+        ~faults:
+          {
+            Ntcs_sim.Faults.seed = 0xFA16;
+            rules = [];
+            schedule = [ (6_000_000, Ntcs_sim.Faults.Crash "sun1") ];
+          }
+        mode
+    in
+    let errs = ref [] in
+    let body () =
+      Cluster.settle c;
+      spawn_echo c ~machine:"ap1" ~name:probe errs;
+      Cluster.settle c;
+      let outcome = ref `Not_run in
+      Ntcs_sim.Sched.at (Cluster.sched c) 8_000_000 (fun () ->
+          ignore
+            (Cluster.spawn c ~machine:"sun2" ~name:"app" (fun node ->
+                 match Commod.bind node ~name:"app" with
+                 | Error e -> outcome := `Err ("bind: " ^ Errors.to_string e)
+                 | Ok commod -> (
+                   match Ali_layer.locate commod probe with
+                   | Error e -> outcome := `Err ("locate: " ^ Errors.to_string e)
+                   | Ok addr -> (
+                     match
+                       Ali_layer.send_sync commod ~dst:addr (payload "survive")
+                     with
+                     | Error e -> outcome := `Err ("send_sync: " ^ Errors.to_string e)
+                     | Ok env -> outcome := `Reply (Bytes.to_string env.Ali_layer.data))))));
+      Cluster.settle ~dt:60_000_000 c;
+      let outcome_errs =
+        match !outcome with
+        | `Reply "echo:survive" -> []
+        | `Reply other -> [ Printf.sprintf "wrong reply %S" other ]
+        | `Err e -> [ Printf.sprintf "lookup after shard loss failed: %s" e ]
+        | `Not_run -> [ "app never completed" ]
+      in
+      !errs @ outcome_errs
+      @ metric_at_least c "ns.shard.fallbacks" 1
+          "surviving replicas never answered for the lost shard"
+      @ metric_at_least c "nsp.failovers" 1 "the client never failed over"
+      @ trace_violations mode c
+    in
+    (Cluster.world c, body)
+  in
+  { sc_name = "naming-shard-loss"; sc_from = 5_000_000; sc_until = 30_000_000; sc_make = make }
+
 let all = [ first_send; break_ns ]
+
+let naming = [ naming_shard_route; naming_stale_splice; naming_shard_loss ]
 
 let faults =
   [
@@ -525,6 +763,8 @@ let faults =
     fault_crash_restart;
     fault_ns_partition_guard;
     fault_ns_partition_noguard;
+    naming_stale_splice;
+    naming_shard_loss;
   ]
 
 let explore ?max_schedules ?(mode = Mode.default) sc =

@@ -36,9 +36,14 @@ type scenario = {
           that drives the exchange and reports that run's violations *)
 }
 
-val config_of_mode : ?faults:Ntcs_sim.Faults.spec -> Mode.t -> Ntcs_sim.World.Config.t
+val config_of_mode :
+  ?faults:Ntcs_sim.Faults.spec ->
+  ?naming:Ntcs_sim.World.Config.naming ->
+  Mode.t ->
+  Ntcs_sim.World.Config.t
 (** The world configuration a mode asks for (sanitizer + fault plane armed
-    declaratively at creation). *)
+    declaratively at creation; [naming] shapes the naming plane, default
+    unsharded). *)
 
 val first_send : scenario
 (** §6.1 first send across a prime gateway (chained open + splice). *)
@@ -77,6 +82,32 @@ val fault_ns_partition_noguard : scenario
     schedule. *)
 
 val faults : scenario list
+(** The recovery soaks, the two naming soaks included. *)
+
+(** {1 Sharded naming plane (DESIGN.md §15)}
+
+    Four shards round-robin over the LAN's name-server machines; every
+    schedule is additionally checked for cache coherence by
+    {!Check_naming} (wired into the shared trace checks). *)
+
+val naming_shard_route : scenario
+(** All owners alive: versioned cached resolution (second locate hits),
+    and a [Lookup_v] planted on a non-owner relays the owner's stamped
+    answer in one hop. *)
+
+val naming_stale_splice : scenario
+(** §3.5 relocation racing a cached lookup: crash/restart of the service's
+    machine plus re-registration; the owner's generation bump must retire
+    cached copies, the chaser's stale address heals by splice repair, and
+    no stale hit ever resolves as fresh. Also part of {!faults}. *)
+
+val naming_shard_loss : scenario
+(** The machine owning the probe name's shard crashes for good; resolution
+    must survive through replica failover and unversioned backup answers.
+    Also part of {!faults}. *)
+
+val naming : scenario list
+(** The naming-plane scenarios, for [ntcs_check --naming] / [@naming]. *)
 
 val explore : ?max_schedules:int -> ?mode:Mode.t -> scenario -> Ntcs_sim.Explore.outcome
 (** Explore the scenario's schedule tree (see {!Ntcs_sim.Explore.run});

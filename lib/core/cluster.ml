@@ -119,8 +119,20 @@ let build ?world ?seed ?config ?(tweak = fun c -> c) ~nets ~machines ?(clocks = 
       Hashtbl.replace t.machines_by_name name m;
       List.iter (fun nn -> World.attach world m (net t nn)) net_names)
     machines;
-  (* Well-known table: name servers first, then prime gateways. *)
-  let ns_machines = ns :: ns_replicas in
+  (* Well-known table: name servers first, then prime gateways.
+
+     The world's naming arm decides the shape of the naming plane: with
+     [naming.shards > 1] the plane runs that many name servers — hosted
+     round-robin over the given ns machines — under a pinned shard map
+     where server [k] owns shard [k] (DESIGN.md §15). *)
+  let naming = (World.config world).World.Config.naming in
+  let ns_machines =
+    let given = ns :: ns_replicas in
+    let n = List.length given in
+    if naming.World.Config.shards <= n then given
+    else
+      List.init naming.World.Config.shards (fun i -> List.nth given (i mod n))
+  in
   let ns_entries =
     List.mapi
       (fun i mname ->
@@ -168,16 +180,33 @@ let build ?world ?seed ?config ?(tweak = fun c -> c) ~nets ~machines ?(clocks = 
       gw_specs
   in
   let well_known = List.map (fun (_, _, _, _, wk) -> wk) ns_entries @ gw_entries in
-  t.config <- tweak { Node.default_config with Node.well_known };
-  (* Spawn name servers. *)
   let all_ns_addrs = List.map (fun (_, _, addr, _, _) -> addr) ns_entries in
+  (* The pinned shard map every ComMod and every server agrees on: entry
+     [k] is the well-known address of the server owning shard [k]. *)
+  let ns_shards =
+    if naming.World.Config.shards > 1 then Array.of_list all_ns_addrs else [||]
+  in
+  let shard_map =
+    if naming.World.Config.shards > 1 then
+      Some (Ntcs_naming.Shard_map.make ~version:1 (Array.of_list all_ns_addrs))
+    else None
+  in
+  t.config <-
+    tweak
+      {
+        Node.default_config with
+        Node.well_known;
+        ns_shards;
+        ns_cache_capacity = naming.World.Config.cache_capacity;
+      };
+  (* Spawn name servers. *)
   List.iter
     (fun (i, m, addr, phys, _) ->
       let node = Node.make ~config:t.config ~world ~ipcs ~machine:m () in
       let server =
         Name_server.create node ~server_id:i ~wk_addr:addr
           ~peers:(List.filter (fun a -> not (Addr.equal a addr)) all_ns_addrs)
-          ()
+          ?shard_map ()
       in
       t.name_servers <- t.name_servers @ [ server ];
       let pid =

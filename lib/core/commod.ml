@@ -103,7 +103,11 @@ let bind ?(attrs = []) ?allowed_nets ?fixed ?(register_name = true) node ~name =
   let t =
     assemble node ~name ?allowed_nets ?fixed
       ~resolver_of:(fun lcm ->
-        let nsp = Nsp_layer.create node lcm in
+        let nsp = Nsp_layer.create ~owner:name node lcm in
+        (* Reconfiguration-driven invalidation (§3.5): relocations the LCM
+           fault handler learns retire/splice the NSP lookup caches. *)
+        Lcm_layer.set_on_relocate lcm (fun ~old ~fresh ->
+            Nsp_layer.note_relocated nsp ~old_addr:old ~fresh);
         (Some nsp, resolver_of_nsp nsp))
       ()
   in

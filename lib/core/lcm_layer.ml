@@ -58,6 +58,10 @@ type t = {
   mutable monitor_suppress : bool;
   mutable dispatcher : Sched.pid option;
   mutable on_peer_down : (Addr.t -> unit) option;
+  mutable on_relocate : (old:Addr.t -> fresh:Addr.t -> unit) option;
+  (* §3.5 reconfiguration hook: fires when the address-fault handler learns
+     a relocation and patches the forwarding table — the NSP-layer listens
+     to invalidate/splice its lookup caches (DESIGN.md §15). *)
   mutable running : bool;
   mutable deepest : int; (* recursion high-water mark already traced *)
   counters : counters;
@@ -151,6 +155,7 @@ let spanned t ~dst ~name f =
 let set_fault_oracle t f = t.fault_oracle <- Some f
 let set_ns_addr t a = t.ns_addr <- Some a
 let set_on_peer_down t f = t.on_peer_down <- Some f
+let set_on_relocate t f = t.on_relocate <- Some f
 
 let fresh_conv t =
   let c = t.next_conv in
@@ -241,6 +246,9 @@ let address_fault t ~dst =
           Ntcs_util.Metrics.incr (metrics t) "lcm.relocations";
           trace t ~cat:"lcm.relocate"
             (Printf.sprintf "%s -> %s" (Addr.to_string dst) (Addr.to_string replacement));
+          (match t.on_relocate with
+           | Some f -> f ~old:dst ~fresh:replacement
+           | None -> ());
           Ok replacement
         | Ok None ->
           (* Original module still alive: "it will attempt to reestablish
@@ -588,6 +596,7 @@ let create node nd ip =
       monitor_suppress = false;
       dispatcher = None;
       on_peer_down = None;
+      on_relocate = None;
       running = true;
       deepest = 0;
       counters =

@@ -47,6 +47,11 @@ val set_ns_addr : t -> Addr.t -> unit
 
 val set_on_peer_down : t -> (Addr.t -> unit) -> unit
 
+val set_on_relocate : t -> (old:Addr.t -> fresh:Addr.t -> unit) -> unit
+(** §3.5 reconfiguration hook: fires when the address-fault handler learns
+    a relocation and patches the forwarding table. The NSP-layer listens to
+    invalidate/splice its lookup caches (DESIGN.md §15). *)
+
 (** {1 Communication primitives} *)
 
 (** Every primitive takes the same two optional parameters: [?app_tag]

@@ -15,7 +15,17 @@
 
    Replication (§7): any number of peer name servers with distinct server
    ids; writes are pushed to peers as datagrams (eventual consistency), and
-   a starting replica pulls a full sync from its first reachable peer. *)
+   a starting replica pulls a full sync from its first reachable peer.
+
+   Sharding (DESIGN.md §15): with a pinned [Shard_map], server [i] is the
+   authority for every name hashing to shard [i]. Versioned lookups and
+   registrations arriving at a non-owner are forwarded name-to-name to the
+   owner over the NTCS itself (Internames style, one hop at most); if the
+   owner is unreachable the non-owner answers from its replicated backup
+   copy, marked unversioned. Each owner keeps an invalidation generation,
+   bumped on every §3.5 invalidation-class mutation (relocation,
+   deregistration, death detected by a Forward probe) and piggybacked on
+   versioned answers so NSP-side caches can tell fresh from stale. *)
 
 let service_attr = "service" (* attribute used for "similar name" matching *)
 
@@ -35,24 +45,40 @@ type t = {
   server_id : int;
   wk_addr : Addr.t;
   db : (Addr.t, record) Hashtbl.t;
+  by_name : (string, record list) Hashtbl.t;
+  (* name -> every record ever registered under it (small buckets). The
+     index is what keeps lookups O(bucket) instead of a full database scan
+     — the difference between 10^3 and 10^6 names (BENCH_naming.json). *)
   peers : Addr.t list; (* other replicas' well-known addresses *)
+  shard_map : Addr.t Ntcs_naming.Shard_map.t option;
+  (* None = classic single/replicated server; Some = sharded naming plane,
+     where this server is the authority for shard [server_id]. *)
+  mutable inval_gen : int;
+  (* invalidation generation of the shard this server owns; starts at 1 so
+     0 stays the "unversioned answer" marker on the wire *)
   mutable next_value : int;
   mutable commod : Commod.t option;
   mutable running : bool;
   ping_timeout_us : int;
+  forward_timeout_us : int; (* shard-forward deadline: short, so a dead
+                               owner degrades to a fallback answer fast *)
 }
 
-let create node ~server_id ~wk_addr ?(peers = []) () =
+let create node ~server_id ~wk_addr ?(peers = []) ?shard_map () =
   {
     node;
     server_id;
     wk_addr;
     db = Hashtbl.create 64;
+    by_name = Hashtbl.create 64;
     peers;
+    shard_map;
+    inval_gen = 1;
     next_value = 1;
     commod = None;
     running = false;
     ping_timeout_us = 400_000;
+    forward_timeout_us = 600_000;
   }
 
 let metrics t = Node.metrics t.node
@@ -85,22 +111,80 @@ let fresh_addr t =
   t.next_value <- v + 1;
   Addr.unique ~server_id:t.server_id ~value:v
 
+(* --- the sharded naming plane (DESIGN.md §15) --- *)
+
+let my_shard t = match t.shard_map with Some _ -> t.server_id | None -> 0
+
+let shard_of_name t name =
+  match t.shard_map with
+  | Some m -> Ntcs_naming.Shard_map.shard_of_name m name
+  | None -> 0
+
+let owns t name =
+  match t.shard_map with
+  | Some m -> Ntcs_naming.Shard_map.shard_of_name m name = t.server_id
+  | None -> true
+
+let generation t = t.inval_gen
+
+(* An invalidation-class mutation happened in the shard this server owns:
+   every cached answer issued before it is now suspect. The new generation
+   rides on subsequent versioned answers; NSP caches fold it into their
+   per-shard floor and turn stale hits into misses. *)
+let bump_gen t what =
+  t.inval_gen <- t.inval_gen + 1;
+  Ntcs_util.Metrics.incr (metrics t) "ns.invalidations";
+  Node.record t.node ~cat:"ns.shard.gen" ~actor:"name-server"
+    (Printf.sprintf "shard %d gen %d: %s" (my_shard t) t.inval_gen what)
+
+(* --- the name index --- *)
+
+let index_add t r =
+  let rest =
+    match Hashtbl.find_opt t.by_name r.r_name with Some rs -> rs | None -> []
+  in
+  Hashtbl.replace t.by_name r.r_name (r :: rest)
+
+let index_remove t ~name ~addr =
+  match Hashtbl.find_opt t.by_name name with
+  | None -> ()
+  | Some rs -> (
+    match List.filter (fun r -> not (Addr.equal r.r_addr addr)) rs with
+    | [] -> Hashtbl.remove t.by_name name
+    | rs' -> Hashtbl.replace t.by_name name rs')
+
+(* The one write path into the database: keeps [by_name] exactly in step,
+   including a replicated record changing the name attached to an address. *)
+let db_insert t r =
+  (match Hashtbl.find_opt t.db r.r_addr with
+   | Some old -> index_remove t ~name:old.r_name ~addr:old.r_addr
+   | None -> ());
+  Hashtbl.replace t.db r.r_addr r;
+  index_add t r
+
 (* --- queries over the database --- *)
 
-(* All database walks below go through [sorted_bindings]: query answers (and
-   hence tie-breaks on equal stamps) must not depend on hash-table layout. *)
+(* Full-database walks below go through [sorted_bindings]: query answers
+   (and hence tie-breaks on equal stamps) must not depend on hash-table
+   layout. [find_by_name] reads one index bucket instead, with an
+   order-independent best-record fold: newest stamp wins, lowest address
+   breaks ties — the same answer the sorted full scan used to produce. *)
 
 let find_by_name t name =
-  List.fold_left
-    (fun best (_, r) ->
-      if r.r_alive && String.equal r.r_name name then begin
-        match best with
-        | Some b when b.r_stamp >= r.r_stamp -> best
-        | Some _ | None -> Some r
-      end
-      else best)
-    None
-    (Ntcs_util.sorted_bindings ~compare:Addr.compare t.db)
+  match Hashtbl.find_opt t.by_name name with
+  | None -> None
+  | Some rs ->
+    List.fold_left
+      (fun best r ->
+        if not r.r_alive then best
+        else
+          match best with
+          | Some b
+            when b.r_stamp > r.r_stamp
+                 || (b.r_stamp = r.r_stamp && Addr.compare b.r_addr r.r_addr <= 0) ->
+            best
+          | Some _ | None -> Some r)
+      None rs
 
 let matches_attrs (r : record) attrs =
   List.for_all
@@ -168,8 +252,30 @@ let merge_entry t (stamp, entry) =
   let addr = entry.Ns_proto.e_addr in
   match Hashtbl.find_opt t.db addr with
   | Some existing when existing.r_stamp >= stamp -> ()
-  | Some _ | None -> Hashtbl.replace t.db addr (record_of_entry ~stamp entry)
+  | Some _ | None ->
+    let r = record_of_entry ~stamp entry in
+    (* An invalidation-class change replicated from a peer — a death, or a
+       live binding superseding another address — lands in a shard this
+       server owns: the generation must move, or cached copies of the old
+       answer would outlive it. *)
+    if
+      owns t r.r_name
+      && ((not r.r_alive)
+         ||
+         match find_by_name t r.r_name with
+         | Some prev -> not (Addr.equal prev.r_addr addr)
+         | None -> false)
+    then bump_gen t ("merge " ^ r.r_name);
+    db_insert t r
 
+(* Anti-entropy catch-up at boot. The pull is bounded by the (short)
+   forward timeout, not the default deadline: when every replica boots at
+   once they are all in here and none is serving yet, so a long timeout
+   would serialize the whole plane's boot behind 3s-per-peer failures
+   (with four sharded servers that kept the name space unreachable for
+   the first nine simulated seconds). A replica joining a live plane
+   still syncs on the first try; fresh simultaneous boots fail fast and
+   converge through push replication instead. *)
 let pull_sync t =
   match t.commod with
   | None -> ()
@@ -181,6 +287,7 @@ let pull_sync t =
         else begin
           match
             Lcm_layer.send_sync (Commod.lcm commod) ~dst:peer ~app_tag:Ns_proto.app_tag
+              ~timeout_us:t.forward_timeout_us
               (Ntcs_wire.Convert.payload_raw (Ns_proto.pack_request (Ns_proto.Sync_pull 0)))
           with
           | Ok env -> (
@@ -194,44 +301,115 @@ let pull_sync t =
 
 (* --- request handling --- *)
 
-let is_alive t commod (r : record) =
+let is_alive t ?commod (r : record) =
   (* "first determining whether the old UAdd is really inactive" — probe it.
-     The ping rides the NTCS itself (recursion), with monitoring suppressed. *)
+     The ping rides the NTCS itself (recursion), with monitoring suppressed.
+     Without a ComMod (offline benches) the database's word stands. *)
   r.r_alive
-  && Lcm_layer.without_monitoring (Commod.lcm commod) (fun () ->
-         match
-           Lcm_layer.ping (Commod.lcm commod) ~dst:r.r_addr ~timeout_us:t.ping_timeout_us
-         with
-         | Ok () -> true
-         | Error _ -> false)
+  &&
+  match commod with
+  | None -> true
+  | Some commod ->
+    Lcm_layer.without_monitoring (Commod.lcm commod) (fun () ->
+        match
+          Lcm_layer.ping (Commod.lcm commod) ~dst:r.r_addr ~timeout_us:t.ping_timeout_us
+        with
+        | Ok () -> true
+        | Error _ -> false)
 
-let handle_request t commod (req : Ns_proto.request) =
+(* One shard-to-shard hop over the NTCS itself: forward [req] to the owner
+   of [shard] and relay its answer verbatim (generations included).
+   Monitoring is suppressed like the liveness pings; the deadline is short
+   so a dead owner degrades into a fallback answer quickly. *)
+let forward_to_shard t commod ~shard req =
+  match t.shard_map with
+  | None -> None
+  | Some m -> (
+    let owner = Ntcs_naming.Shard_map.owner m shard in
+    Lcm_layer.without_monitoring (Commod.lcm commod) (fun () ->
+        match
+          Lcm_layer.send_sync (Commod.lcm commod) ~dst:owner ~app_tag:Ns_proto.app_tag
+            ~timeout_us:t.forward_timeout_us
+            (Ntcs_wire.Convert.payload_raw (Ns_proto.pack_request req))
+        with
+        | Error _ -> None
+        | Ok env -> (
+          match Ns_proto.unpack_response env.Lcm_layer.data with
+          | Ok resp -> Some resp
+          | Error _ -> None)))
+
+(* Shard-router wrapper around a request for [name] that this server does
+   not own: one forward to the owner; on failure, answer from the local
+   replicated backup via [local] (marked unversioned by the caller). *)
+let route t ?commod ~name ~hop_note req local =
+  match (t.shard_map, commod) with
+  | None, _ | _, None -> local ()
+  | Some _, Some commod ->
+    let shard = shard_of_name t name in
+    Ntcs_util.Metrics.incr (metrics t) "ns.shard.forwards";
+    Node.record t.node ~cat:"ns.shard.forward" ~actor:"name-server"
+      (Printf.sprintf "%s: shard %d -> %d hop %d" name (my_shard t) shard hop_note);
+    (match forward_to_shard t commod ~shard req with
+     | Some resp -> resp
+     | None ->
+       Ntcs_util.Metrics.incr (metrics t) "ns.shard.fallbacks";
+       Node.record t.node ~cat:"ns.shard.fallback" ~actor:"name-server"
+         (Printf.sprintf "%s: shard %d answering for %d" name (my_shard t) shard);
+       local ())
+
+let handle_request t ?commod (req : Ns_proto.request) =
   match req with
   | Ns_proto.Register { r_name; r_phys; r_nets; r_order; r_attrs } ->
-    let addr = fresh_addr t in
-    let record =
-      {
-        r_name;
-        r_addr = addr;
-        r_phys;
-        r_nets;
-        r_order;
-        r_attrs;
-        r_alive = true;
-        r_stamp = Node.now t.node;
-      }
+    let do_register () =
+      let addr = fresh_addr t in
+      let record =
+        {
+          r_name;
+          r_addr = addr;
+          r_phys;
+          r_nets;
+          r_order;
+          r_attrs;
+          r_alive = true;
+          r_stamp = Node.now t.node;
+        }
+      in
+      (* A live binding already answering for this name means the new
+         registration is a §3.5 relocation: cached copies of the old
+         answer must die, so the generation moves. *)
+      (match find_by_name t r_name with
+       | Some prev when owns t r_name && not (Addr.equal prev.r_addr addr) ->
+         bump_gen t ("re-register " ^ r_name)
+       | _ -> ());
+      db_insert t record;
+      Ntcs_util.Metrics.incr (metrics t) "ns.registrations";
+      Node.record t.node ~cat:"ns.register" ~actor:"name-server"
+        (Printf.sprintf "%s -> %s" r_name (Addr.to_string addr));
+      push_to_peers t [ record ];
+      Ns_proto.R_registered addr
     in
-    Hashtbl.replace t.db addr record;
-    Ntcs_util.Metrics.incr (metrics t) "ns.registrations";
-    Node.record t.node ~cat:"ns.register" ~actor:"name-server"
-      (Printf.sprintf "%s -> %s" r_name (Addr.to_string addr));
-    push_to_peers t [ record ];
-    Ns_proto.R_registered addr
+    if owns t r_name then do_register ()
+    else route t ?commod ~name:r_name ~hop_note:1 req do_register
   | Ns_proto.Lookup name -> (
     Ntcs_util.Metrics.incr (metrics t) "ns.lookups";
     match find_by_name t name with
     | Some r -> Ns_proto.R_addr r.r_addr
     | None -> Ns_proto.R_error "unknown-name")
+  | Ns_proto.Lookup_v (name, hops) ->
+    Ntcs_util.Metrics.incr (metrics t) "ns.lookups";
+    Ntcs_util.Metrics.incr (metrics t)
+      (Printf.sprintf "ns.shard%d.lookups" (my_shard t));
+    let local () =
+      match find_by_name t name with
+      | Some r ->
+        (* Owners stamp their generation; a backup answer is unversioned
+           (gen 0) so it can never advance the client's floor. *)
+        let gen = if owns t name then t.inval_gen else 0 in
+        Ns_proto.R_addr_v (r.r_addr, shard_of_name t name, gen)
+      | None -> Ns_proto.R_error "unknown-name"
+    in
+    if owns t name || hops >= 1 then local ()
+    else route t ?commod ~name ~hop_note:(hops + 1) (Ns_proto.Lookup_v (name, hops + 1)) local
   | Ns_proto.Lookup_attrs attrs ->
     Ntcs_util.Metrics.incr (metrics t) "ns.attr_lookups";
     Ns_proto.R_entries (List.map entry_of_record (find_by_attrs t attrs))
@@ -240,14 +418,34 @@ let handle_request t commod (req : Ns_proto.request) =
     match Hashtbl.find_opt t.db addr with
     | Some r -> Ns_proto.R_entry (entry_of_record r)
     | None -> Ns_proto.R_error "unknown-address")
+  | Ns_proto.Resolve_v addr -> (
+    Ntcs_util.Metrics.incr (metrics t) "ns.resolves";
+    match Hashtbl.find_opt t.db addr with
+    | Some r ->
+      (* The minting server's id *is* the owning shard for sharded
+         deployments; well-known addresses (gateways, the servers
+         themselves) fall outside the map and are answered unversioned. *)
+      let shard, gen =
+        match (t.shard_map, addr.Addr.space) with
+        | Some m, Addr.Unique sid when sid < Ntcs_naming.Shard_map.nshards m ->
+          (sid, if sid = t.server_id then t.inval_gen else 0)
+        | Some _, _ -> (my_shard t, 0)
+        | None, _ -> (0, t.inval_gen)
+      in
+      Ns_proto.R_entry_v (entry_of_record r, shard, gen)
+    | None -> Ns_proto.R_error "unknown-address")
   | Ns_proto.Forward old_addr -> (
     Ntcs_util.Metrics.incr (metrics t) "ns.forward_queries";
     match Hashtbl.find_opt t.db old_addr with
     | None -> Ns_proto.R_error "unknown-address"
     | Some old ->
-      if is_alive t commod old then Ns_proto.R_forward None
+      if is_alive t ?commod old then Ns_proto.R_forward None
       else begin
-        old.r_alive <- false;
+        if old.r_alive then begin
+          old.r_alive <- false;
+          if owns t old.r_name then
+            bump_gen t (Printf.sprintf "dead %s (%s)" old.r_name (Addr.to_string old_addr))
+        end;
         match find_replacement t old with
         | Some fresh ->
           Node.record t.node ~cat:"ns.forward" ~actor:"name-server"
@@ -259,6 +457,8 @@ let handle_request t commod (req : Ns_proto.request) =
     match Hashtbl.find_opt t.db addr with
     | None -> Ns_proto.R_ok
     | Some r ->
+      if r.r_alive && owns t r.r_name then
+        bump_gen t ("deregister " ^ r.r_name);
       r.r_alive <- false;
       r.r_stamp <- Node.now t.node;
       push_to_peers t [ r ];
@@ -308,7 +508,7 @@ let serve ?fixed t () =
   Nd_layer.set_my_addr (Commod.nd commod) t.wk_addr;
   t.commod <- Some commod;
   (* Self-entry, so lookups and liveness checks can see the server itself. *)
-  Hashtbl.replace t.db t.wk_addr
+  db_insert t
     {
       r_name = "name-server";
       r_addr = t.wk_addr;
@@ -331,7 +531,7 @@ let serve ?fixed t () =
         | Error m ->
           Node.record t.node ~cat:"ns.bad_request" ~actor:"name-server" m
         | Ok req ->
-          let resp = handle_request t commod req in
+          let resp = handle_request t ~commod req in
           if env.Lcm_layer.conv <> 0 then
             ignore
               (Lcm_layer.reply lcm env ~app_tag:Ns_proto.app_tag
@@ -340,6 +540,27 @@ let serve ?fixed t () =
   done
 
 let stop t = t.running <- false
+
+(* Bulk-load bindings straight into the database, bypassing the protocol:
+   benches populate 10^6-name databases this way (registering each over the
+   wire would drown the measurement in transport costs). *)
+let preload t names =
+  let stamp = Node.now t.node in
+  List.iter
+    (fun (name, attrs) ->
+      let addr = fresh_addr t in
+      db_insert t
+        {
+          r_name = name;
+          r_addr = addr;
+          r_phys = [];
+          r_nets = [];
+          r_order = 0;
+          r_attrs = attrs;
+          r_alive = true;
+          r_stamp = stamp;
+        })
+    names
 
 let db_size t = Hashtbl.length t.db
 

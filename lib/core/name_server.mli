@@ -10,7 +10,16 @@
 
     Replication (§7): peers with distinct server ids; writes are pushed to
     peers as datagrams (eventual consistency), and a starting replica pulls
-    a full sync from its first reachable peer. *)
+    a full sync from its first reachable peer.
+
+    Sharding (DESIGN.md §15): under a pinned {!Ntcs_naming.Shard_map} the
+    server with id [i] is the authority for every name hashing to shard
+    [i]. Versioned requests ({!Ns_proto.request.Lookup_v}, routed
+    registrations) arriving at a non-owner are forwarded name-to-name to
+    the owner over the NTCS itself — one hop at most — and the owner's
+    invalidation generation rides back on the answer for the NSP-side
+    caches. If the owner is unreachable, the non-owner answers from its
+    replicated backup copy, marked unversioned (generation 0). *)
 
 type t
 
@@ -18,9 +27,14 @@ val service_attr : string
 (** The attribute key used for "similar name" matching (["service"]). *)
 
 val create :
-  Node.t -> server_id:int -> wk_addr:Addr.t -> ?peers:Addr.t list -> unit -> t
+  Node.t -> server_id:int -> wk_addr:Addr.t -> ?peers:Addr.t list ->
+  ?shard_map:Addr.t Ntcs_naming.Shard_map.t -> unit -> t
 (** [wk_addr] is the pre-assigned well-known address every ComMod's tables
-    point at (§3.4); [peers] are the other replicas' well-known addresses. *)
+    point at (§3.4); [peers] are the other replicas' well-known addresses.
+    [shard_map] turns on the sharded naming plane: this server owns shard
+    [server_id] and forwards versioned requests for other shards to their
+    owners. Without it the server behaves exactly as the classic single (or
+    fully replicated) name server. *)
 
 val serve : ?fixed:Ntcs_ipcs.Phys_addr.t list -> t -> unit -> unit
 (** The server process body: bind (at the [fixed] resources), adopt the
@@ -33,8 +47,29 @@ val local_resolver : t -> Router.resolver
 (** The server's own ComMod resolves from this database directly — the one
     place the naming recursion bottoms out. *)
 
-val handle_request : t -> Commod.t -> Ns_proto.request -> Ns_proto.response
-(** Exposed for tests; normal traffic arrives through {!serve}. *)
+val handle_request : t -> ?commod:Commod.t -> Ns_proto.request -> Ns_proto.response
+(** Exposed for tests and benches; normal traffic arrives through {!serve}.
+    Without [?commod] the server cannot ping, shard-forward, or replicate —
+    liveness is taken from the database and non-owned shards are answered
+    from the local (backup) copy, unversioned. *)
+
+val preload : t -> (string * (string * string) list) list -> unit
+(** Bulk-load [(name, attrs)] bindings straight into the database,
+    bypassing the request protocol — how benches build 10^6-name databases
+    without drowning the measurement in transport costs. Addresses are
+    minted locally; entries are alive and stamped with the current virtual
+    time. *)
+
+val generation : t -> int
+(** Current invalidation generation of the shard this server owns (starts
+    at 1; 0 is reserved on the wire for unversioned answers). *)
+
+val my_shard : t -> int
+(** The shard this server owns (= its server id under a shard map, else 0). *)
+
+val owns : t -> string -> bool
+(** Whether this server is the authority for [name] under its shard map
+    (always true without one). *)
 
 val db_size : t -> int
 val dump : t -> Ns_proto.entry list

@@ -40,6 +40,13 @@ type config = {
      request: a synchronous call's reply wait, an asynchronous send's
      retry/backoff budget. Explicit [?timeout_us] overrides per call. *)
   ns_cache_ttl_us : int; (* NSP-layer cache lifetime; 0 = no caching *)
+  ns_cache_capacity : int; (* NSP-layer lookup-cache entries per ComMod *)
+  ns_shards : Addr.t array;
+  (* The pinned shard map of the naming plane (DESIGN.md §15):
+     [ns_shards.(k)] is the well-known address of the name server owning
+     shard [k]. Empty = the classic single (or fully replicated) name
+     server; [Cluster.build] fills it when the world's naming arm asks for
+     more than one shard. *)
   well_known : well_known list;
 }
 
@@ -60,6 +67,8 @@ let default_config =
         ~jitter_us:50_000 ();
     default_timeout_us = 3_000_000;
     ns_cache_ttl_us = 60_000_000;
+    ns_cache_capacity = 512;
+    ns_shards = [||];
     well_known = [];
   }
 

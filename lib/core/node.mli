@@ -39,6 +39,11 @@ type config = {
           retry/backoff budget. Explicit [?timeout_us] overrides per
           call. *)
   ns_cache_ttl_us : int;  (** NSP-layer cache lifetime; 0 = no caching *)
+  ns_cache_capacity : int;  (** NSP-layer lookup-cache entries per ComMod *)
+  ns_shards : Addr.t array;
+      (** pinned shard map of the naming plane: [ns_shards.(k)] is the
+          well-known address of the name server owning shard [k]; empty =
+          the classic single (or fully replicated) name server *)
   well_known : well_known list;
 }
 

@@ -27,8 +27,16 @@ type request =
       r_attrs : (string * string) list;
     }
   | Lookup of string (* logical name -> UAdd *)
+  | Lookup_v of string * int
+  (* Versioned, shard-routed lookup (DESIGN.md §15): [name, hops]. A
+     non-owner shard forwards it name-to-name to the owner with [hops+1]
+     (Internames style); [hops >= 1] means "answer locally" so the chain
+     is at most one hop long even if shard maps ever disagreed. Answered
+     with [R_addr_v], which piggybacks the owner's invalidation
+     generation for the client's cache. *)
   | Lookup_attrs of (string * string) list (* attribute query -> entries *)
   | Resolve of Addr.t (* UAdd -> full entry *)
+  | Resolve_v of Addr.t (* versioned resolve, answered with [R_entry_v] *)
   | Forward of Addr.t (* address fault: find replacement (§3.5) *)
   | Deregister of Addr.t
   | List_gateways (* topology: all registered gateway ComMods *)
@@ -38,7 +46,13 @@ type request =
 type response =
   | R_registered of Addr.t
   | R_addr of Addr.t
+  | R_addr_v of Addr.t * int * int
+  (* [addr, shard, gen]: the answer plus the answering authority's shard
+     index and invalidation generation. [gen = 0] marks an unversioned
+     answer (a surviving replica's backup copy while the owner is down):
+     cacheable, but it never raises the client's generation floor. *)
   | R_entry of entry
+  | R_entry_v of entry * int * int (* [entry, shard, gen] — as [R_addr_v] *)
   | R_entries of entry list
   | R_forward of Addr.t option (* Some = replacement; None = original still alive *)
   | R_ok
@@ -86,6 +100,14 @@ let request_codec : request Packed.t =
       ( "lku",
         (function Lookup n -> Some (fun buf -> Packed.string.Packed.pack buf n) | _ -> None),
         fun cur -> Lookup (Packed.string.Packed.unpack cur) );
+      ( "lkv",
+        (let codec = Packed.pair Packed.string Packed.int in
+         function
+         | Lookup_v (n, hops) -> Some (fun buf -> codec.Packed.pack buf (n, hops))
+         | _ -> None),
+        fun cur ->
+          let n, hops = (Packed.pair Packed.string Packed.int).Packed.unpack cur in
+          Lookup_v (n, hops) );
       ( "lka",
         (function
           | Lookup_attrs a -> Some (fun buf -> attrs_codec.Packed.pack buf a)
@@ -94,6 +116,9 @@ let request_codec : request Packed.t =
       ( "res",
         (function Resolve a -> Some (fun buf -> addr_codec.Packed.pack buf a) | _ -> None),
         fun cur -> Resolve (addr_codec.Packed.unpack cur) );
+      ( "rsv",
+        (function Resolve_v a -> Some (fun buf -> addr_codec.Packed.pack buf a) | _ -> None),
+        fun cur -> Resolve_v (addr_codec.Packed.unpack cur) );
       ( "fwd",
         (function Forward a -> Some (fun buf -> addr_codec.Packed.pack buf a) | _ -> None),
         fun cur -> Forward (addr_codec.Packed.unpack cur) );
@@ -126,9 +151,31 @@ let response_codec : response Packed.t =
       ( "adr",
         (function R_addr a -> Some (fun buf -> addr_codec.Packed.pack buf a) | _ -> None),
         fun cur -> R_addr (addr_codec.Packed.unpack cur) );
+      ( "adv",
+        (let codec = Packed.pair (Packed.pair addr_codec Packed.int) Packed.int in
+         function
+         | R_addr_v (a, shard, gen) ->
+           Some (fun buf -> codec.Packed.pack buf ((a, shard), gen))
+         | _ -> None),
+        fun cur ->
+          let (a, shard), gen =
+            (Packed.pair (Packed.pair addr_codec Packed.int) Packed.int).Packed.unpack cur
+          in
+          R_addr_v (a, shard, gen) );
       ( "ent",
         (function R_entry e -> Some (fun buf -> entry_codec.Packed.pack buf e) | _ -> None),
         fun cur -> R_entry (entry_codec.Packed.unpack cur) );
+      ( "env",
+        (let codec = Packed.pair (Packed.pair entry_codec Packed.int) Packed.int in
+         function
+         | R_entry_v (e, shard, gen) ->
+           Some (fun buf -> codec.Packed.pack buf ((e, shard), gen))
+         | _ -> None),
+        fun cur ->
+          let (e, shard), gen =
+            (Packed.pair (Packed.pair entry_codec Packed.int) Packed.int).Packed.unpack cur
+          in
+          R_entry_v (e, shard, gen) );
       ( "ens",
         (function
           | R_entries es -> Some (fun buf -> (Packed.list entry_codec).Packed.pack buf es)

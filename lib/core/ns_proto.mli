@@ -29,8 +29,14 @@ type request =
       r_attrs : (string * string) list;
     }
   | Lookup of string  (** logical name → UAdd *)
+  | Lookup_v of string * int
+      (** versioned, shard-routed lookup: [name, hops]. A non-owner shard
+          forwards it name-to-name to the owner with [hops+1] (Internames
+          style, DESIGN.md §15); [hops >= 1] forces a local answer so the
+          resolution chain is at most one hop. Answered with {!R_addr_v}. *)
   | Lookup_attrs of (string * string) list
   | Resolve of Addr.t  (** UAdd → full entry *)
+  | Resolve_v of Addr.t  (** versioned resolve, answered with {!R_entry_v} *)
   | Forward of Addr.t  (** address fault: find a replacement (§3.5) *)
   | Deregister of Addr.t
   | List_gateways  (** the centralized topology (§4.2) *)
@@ -40,7 +46,14 @@ type request =
 type response =
   | R_registered of Addr.t
   | R_addr of Addr.t
+  | R_addr_v of Addr.t * int * int
+      (** [addr, shard, gen]: answer plus the answering authority's shard
+          index and invalidation generation. [gen = 0] marks an
+          unversioned answer (a replica's backup copy while the owner is
+          down): cacheable, but never raises the client's generation
+          floor. *)
   | R_entry of entry
+  | R_entry_v of entry * int * int  (** [entry, shard, gen] — as {!R_addr_v} *)
   | R_entries of entry list
   | R_forward of Addr.t option  (** [Some] replacement / [None] still alive *)
   | R_ok

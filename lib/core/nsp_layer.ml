@@ -8,23 +8,36 @@
    what forces the Nucleus to operate recursively (§3.1) — using the
    well-known name-server addresses from the node configuration to bootstrap
    (§3.4). With replicated name servers (§7) it simply fails over through
-   the candidate list. Results are cached with a TTL; the caches are what
-   let the system keep running with the name server removed (§3.3, E1). *)
+   the candidate list. Results are cached; the caches are what let the
+   system keep running with the name server removed (§3.3, E1).
+
+   Under a sharded naming plane (DESIGN.md §15) the caches become the
+   versioned [Ntcs_naming.Ns_cache]: every entry remembers which shard
+   answered and at which invalidation generation, requests for a name are
+   routed owner-first through the pinned shard map, and generation
+   observations piggybacked on versioned answers retire stale entries. A
+   stale cache hit resolves to a miss plus a fresh lookup — never a
+   delivery on the old circuit; §3.5 relocation events (forward queries,
+   the LCM relocation hook) splice-repair cached names in place. *)
 
 open Ntcs_wire
+module Ns_cache = Ntcs_naming.Ns_cache
+module Shard_map = Ntcs_naming.Shard_map
 
 type t = {
   node : Node.t;
   lcm : Lcm_layer.t;
   rng : Ntcs_util.Rng.t; (* private stream for backoff jitter *)
+  owner : string; (* actor name on ns.cache.* trace events *)
   candidates : Addr.t list; (* well-known NS addresses, primary first *)
-  name_cache : (string, Addr.t * int) Hashtbl.t; (* value, expiry (virtual us) *)
-  entry_cache : (Addr.t, Ns_proto.entry * int) Hashtbl.t;
+  shard_map : Addr.t Shard_map.t option; (* pinned map; None = unsharded *)
+  name_cache : (string, Addr.t) Ns_cache.t;
+  entry_cache : (Addr.t, Ns_proto.entry) Ns_cache.t;
   mutable gw_cache : (Ns_proto.entry list * int) option;
   mutable last_good : Addr.t option; (* which replica answered last *)
 }
 
-let create node lcm =
+let create ?(owner = "nsp") node lcm =
   let candidates =
     node.Node.config.Node.well_known
     |> List.filter (fun wk -> wk.Node.wk_is_name_server)
@@ -33,13 +46,21 @@ let create node lcm =
   (match candidates with
    | ns :: _ -> Lcm_layer.set_ns_addr lcm ns
    | [] -> ());
+  let shards = node.Node.config.Node.ns_shards in
+  let shard_map =
+    if Array.length shards > 1 then Some (Shard_map.make ~version:1 shards) else None
+  in
+  let nshards = max 1 (Array.length shards) in
+  let capacity = node.Node.config.Node.ns_cache_capacity in
   {
     node;
     lcm;
     rng = Ntcs_util.Rng.split (Ntcs_sim.World.rng (Node.world node));
+    owner;
     candidates;
-    name_cache = Hashtbl.create 32;
-    entry_cache = Hashtbl.create 32;
+    shard_map;
+    name_cache = Ns_cache.create ~capacity ~nshards;
+    entry_cache = Ns_cache.create ~capacity ~nshards;
     gw_cache = None;
     last_good = None;
   }
@@ -48,8 +69,44 @@ let metrics t = Node.metrics t.node
 
 let ttl t = t.node.Node.config.Node.ns_cache_ttl_us
 
-(* TTL 0 disables caching outright (every entry is born expired). *)
-let expired t stamp = ttl t = 0 || Node.now t.node > stamp
+let sharded t = t.shard_map <> None
+
+(* The cache-coherence trace (Check_naming): hit / stale / store / invalidate
+   events, emitted only under a sharded naming plane so classic single-NS
+   traces are unchanged. *)
+let cache_event t cat detail =
+  if sharded t then Node.record t.node ~cat ~actor:t.owner detail
+
+let kv_detail kind key ~shard ~gen =
+  Printf.sprintf "%s:%s shard %d gen %d" kind key shard gen
+
+(* Fold a generation observation from a versioned answer into both caches'
+   per-shard floors. Retired entries are invalidated lazily: they report
+   Stale on their next touch, which [lookup]/[resolve] turn into a miss
+   plus a fresh versioned lookup. The invalidate event's count is how
+   many resident entries the new floor retired. *)
+let note_generation t ~shard ~gen =
+  if gen > 0 && gen > Ns_cache.floor t.name_cache ~shard then begin
+    let dropped =
+      Ns_cache.note_generation t.name_cache ~shard ~gen
+      + Ns_cache.note_generation t.entry_cache ~shard ~gen
+    in
+    Ntcs_util.Metrics.incr (metrics t) "nsp.cache_invalidations";
+    cache_event t "ns.cache.invalidate"
+      (Printf.sprintf "shard %d floor %d dropped %d" shard gen dropped)
+  end
+
+(* Store an authoritative answer in [cache]. Observation first, then the
+   store: the new entry must not be retired by its own generation. The
+   recorded generation is the clamped one actually stored, so per-shard
+   store generations are non-decreasing in the trace (Check_naming). *)
+let store t cache key_str cache_key ~value ~kind ~shard ~gen =
+  if ttl t > 0 then begin
+    note_generation t ~shard ~gen;
+    let stored_gen = max gen (Ns_cache.floor cache ~shard) in
+    Ns_cache.store cache cache_key ~value ~shard ~gen ~expiry:(Node.now t.node + ttl t);
+    cache_event t "ns.cache.store" (kv_detail kind key_str ~shard ~gen:stored_gen)
+  end
 
 let error_of_string = function
   | "unknown-name" -> Errors.Unknown_name
@@ -62,16 +119,25 @@ let error_of_string = function
    with a transient error, the policy backs off and cycles again — an NS
    briefly unreachable mid-reconfiguration is not yet "unavailable". Server
    answers ([R_error ...]) are never retried: they are responses, not
-   transport failures. *)
-let request t (req : Ns_proto.request) =
+   transport failures. [?prefer] puts one replica (the owning shard of the
+   name being asked about) at the head of the pass, ahead of [last_good]. *)
+let request_prefer ?prefer t (req : Ns_proto.request) =
   let payload = Convert.payload_raw (Ns_proto.pack_request req) in
   let started = Node.now t.node in
   let one_pass ~attempt =
     if attempt > 1 then Ntcs_util.Metrics.incr (metrics t) "nsp.retry_cycles";
+    let front =
+      match (prefer, t.last_good) with
+      | Some p, Some g when not (Addr.equal p g) -> [ p; g ]
+      | Some p, _ -> [ p ]
+      | None, Some g -> [ g ]
+      | None, None -> []
+    in
     let order =
-      match t.last_good with
-      | Some a -> a :: List.filter (fun c -> not (Addr.equal c a)) t.candidates
-      | None -> t.candidates
+      front
+      @ List.filter
+          (fun c -> not (List.exists (Addr.equal c) front))
+          t.candidates
     in
     let rec failover = function
       | [] -> Error Errors.Name_service_unavailable
@@ -103,38 +169,61 @@ let request t (req : Ns_proto.request) =
   Ntcs_obs.Registry.observe (metrics t) "nsp.request_us" (Node.now t.node - started);
   result
 
+let request t req = request_prefer t req
+
 let protocol_error = Errors.Bad_message "unexpected name-server response"
 
 (* --- the services the rest of the ComMod consumes --- *)
 
 let register t ~name ~phys ~nets ~order ~attrs =
-  match
-    request t
-      (Ns_proto.Register
-         {
-           r_name = name;
-           r_phys = List.map Ntcs_ipcs.Phys_addr.to_string phys;
-           r_nets = nets;
-           r_order = Proto.order_to_int order;
-           r_attrs = attrs;
-         })
-  with
+  let req =
+    Ns_proto.Register
+      {
+        r_name = name;
+        r_phys = List.map Ntcs_ipcs.Phys_addr.to_string phys;
+        r_nets = nets;
+        r_order = Proto.order_to_int order;
+        r_attrs = attrs;
+      }
+  in
+  let prefer = Option.map (fun m -> Shard_map.owner_of_name m name) t.shard_map in
+  match request_prefer ?prefer t req with
   | Ok (Ns_proto.R_registered addr) -> Ok addr
   | Ok _ -> Error protocol_error
   | Error _ as e -> e
 
 let lookup t name =
-  match Hashtbl.find_opt t.name_cache name with
-  | Some (addr, stamp) when not (expired t stamp) ->
+  match Ns_cache.find t.name_cache ~now:(Node.now t.node) name with
+  | Ns_cache.Hit (addr, shard, gen) ->
     Ntcs_util.Metrics.incr (metrics t) "nsp.cache_hits";
+    cache_event t "ns.cache.hit" (kv_detail "name" name ~shard ~gen);
     Ok addr
-  | Some _ | None -> (
-    match request t (Ns_proto.Lookup name) with
-    | Ok (Ns_proto.R_addr addr) ->
-      Hashtbl.replace t.name_cache name (addr, Node.now t.node + ttl t);
-      Ok addr
-    | Ok _ -> Error protocol_error
-    | Error _ as e -> e)
+  | (Ns_cache.Stale _ | Ns_cache.Miss) as outcome -> (
+    (match outcome with
+     | Ns_cache.Stale (_, shard, gen) ->
+       (* The shard invalidated this generation: a miss plus a fresh
+          lookup, never a delivery on the old circuit. *)
+       Ntcs_util.Metrics.incr (metrics t) "nsp.cache_stale";
+       cache_event t "ns.cache.stale" (kv_detail "name" name ~shard ~gen)
+     | _ -> Ntcs_util.Metrics.incr (metrics t) "nsp.cache_misses");
+    match t.shard_map with
+    | Some m -> (
+      match
+        request_prefer ~prefer:(Shard_map.owner_of_name m name) t
+          (Ns_proto.Lookup_v (name, 0))
+      with
+      | Ok (Ns_proto.R_addr_v (addr, shard, gen)) ->
+        store t t.name_cache name name ~value:addr ~kind:"name" ~shard ~gen;
+        Ok addr
+      | Ok _ -> Error protocol_error
+      | Error _ as e -> e)
+    | None -> (
+      match request t (Ns_proto.Lookup name) with
+      | Ok (Ns_proto.R_addr addr) ->
+        store t t.name_cache name name ~value:addr ~kind:"name" ~shard:0 ~gen:0;
+        Ok addr
+      | Ok _ -> Error protocol_error
+      | Error _ as e -> e))
 
 let lookup_attrs t attrs =
   match request t (Ns_proto.Lookup_attrs attrs) with
@@ -143,42 +232,84 @@ let lookup_attrs t attrs =
   | Error _ as e -> e
 
 let resolve t addr =
-  match Hashtbl.find_opt t.entry_cache addr with
-  | Some (entry, stamp) when not (expired t stamp) ->
+  let key = Addr.to_string addr in
+  match Ns_cache.find t.entry_cache ~now:(Node.now t.node) addr with
+  | Ns_cache.Hit (entry, shard, gen) ->
     Ntcs_util.Metrics.incr (metrics t) "nsp.cache_hits";
+    cache_event t "ns.cache.hit" (kv_detail "addr" key ~shard ~gen);
     Ok entry
-  | Some _ | None -> (
-    match request t (Ns_proto.Resolve addr) with
-    | Ok (Ns_proto.R_entry e) ->
-      Hashtbl.replace t.entry_cache addr (e, Node.now t.node + ttl t);
-      Ok e
-    | Ok _ -> Error protocol_error
-    | Error _ as e -> e)
+  | (Ns_cache.Stale _ | Ns_cache.Miss) as outcome -> (
+    (match outcome with
+     | Ns_cache.Stale (_, shard, gen) ->
+       Ntcs_util.Metrics.incr (metrics t) "nsp.cache_stale";
+       cache_event t "ns.cache.stale" (kv_detail "addr" key ~shard ~gen)
+     | _ -> Ntcs_util.Metrics.incr (metrics t) "nsp.cache_misses");
+    if sharded t then begin
+      match request t (Ns_proto.Resolve_v addr) with
+      | Ok (Ns_proto.R_entry_v (e, shard, gen)) ->
+        store t t.entry_cache key addr ~value:e ~kind:"addr" ~shard ~gen;
+        Ok e
+      | Ok _ -> Error protocol_error
+      | Error _ as err -> err
+    end
+    else begin
+      match request t (Ns_proto.Resolve addr) with
+      | Ok (Ns_proto.R_entry e) ->
+        store t t.entry_cache key addr ~value:e ~kind:"addr" ~shard:0 ~gen:0;
+        Ok e
+      | Ok _ -> Error protocol_error
+      | Error _ as err -> err
+    end)
+
+(* §3.5 splice repair: [old_addr] was just proved stale (an address fault,
+   or a relocation the LCM learned). Drop its cached entry and re-point
+   every cached name that resolved to it at the replacement, on the shard
+   the dead entry carried — the repaired binding is unversioned (it did not
+   come from an owner's stamped answer), so its generation is just the
+   shard's current floor. *)
+let splice t ~old_addr ~fresh =
+  let dead_names = ref [] in
+  Ns_cache.iter t.name_cache (fun name a ~shard ~gen:_ ->
+      if Addr.equal a old_addr then dead_names := (name, shard) :: !dead_names);
+  let dropped = Ns_cache.invalidate_if t.entry_cache (fun a _ -> Addr.equal a old_addr) in
+  (match (!dead_names, dropped) with
+   | [], 0 -> ()
+   | _ ->
+     cache_event t "ns.cache.invalidate"
+       (Printf.sprintf "splice addr:%s dropped %d"
+          (Addr.to_string old_addr)
+          (dropped + List.length !dead_names)));
+  match fresh with
+  | None ->
+    List.iter (fun (name, _) -> Ns_cache.remove t.name_cache name) !dead_names
+  | Some fresh ->
+    List.iter
+      (fun (name, shard) ->
+        store t t.name_cache name name ~value:fresh ~kind:"name" ~shard ~gen:0)
+      (List.rev !dead_names)
 
 (* Address-fault query (§3.5): never cached — the whole point is that the
-   cached state just proved stale. *)
+   cached state just proved stale. A located replacement splice-repairs the
+   name cache so names resolving to the dead address heal. *)
 let forward_query t addr =
-  Hashtbl.remove t.entry_cache addr;
+  Ns_cache.remove t.entry_cache addr;
   match request t (Ns_proto.Forward addr) with
   | Ok (Ns_proto.R_forward r) ->
     (match r with
-     | Some fresh ->
-       (* Patch the name cache so names resolving to the dead address heal.
-          A sorted snapshot both fixes the walk order and makes the
-          mid-iteration [replace] safe without copying the table. *)
-       List.iter
-         (fun (name, (a, _)) ->
-           if Addr.equal a addr then
-             Hashtbl.replace t.name_cache name (fresh, Node.now t.node + ttl t))
-         (Ntcs_util.sorted_bindings t.name_cache)
-     | None -> ());
+     | Some fresh -> splice t ~old_addr:addr ~fresh:(Some fresh)
+     | None -> Ns_cache.remove t.entry_cache addr);
     Ok r
   | Ok _ -> Error protocol_error
   | Error _ as e -> e
 
+(* The LCM relocation hook (reconfiguration-driven invalidation): the
+   address-fault handler just patched its forwarding table, so every cached
+   answer naming [old] is wrong from this instant. *)
+let note_relocated t ~old_addr ~fresh = splice t ~old_addr ~fresh:(Some fresh)
+
 let gateways t =
   match t.gw_cache with
-  | Some (entries, stamp) when not (expired t stamp) ->
+  | Some (entries, stamp) when ttl t > 0 && Node.now t.node <= stamp ->
     Ntcs_util.Metrics.incr (metrics t) "nsp.cache_hits";
     Ok entries
   | Some _ | None -> (
@@ -191,13 +322,20 @@ let gateways t =
 
 let deregister t addr =
   match request t (Ns_proto.Deregister addr) with
-  | Ok Ns_proto.R_ok -> Ok ()
+  | Ok Ns_proto.R_ok ->
+    splice t ~old_addr:addr ~fresh:None;
+    Ok ()
   | Ok _ -> Error protocol_error
   | Error _ as e -> e
 
 let invalidate t =
-  Hashtbl.reset t.name_cache;
-  Hashtbl.reset t.entry_cache;
+  Ns_cache.clear t.name_cache;
+  Ns_cache.clear t.entry_cache;
   t.gw_cache <- None
+
+let cache_stats t =
+  let h1, s1, m1 = Ns_cache.stats t.name_cache in
+  let h2, s2, m2 = Ns_cache.stats t.entry_cache in
+  (h1 + h2, s1 + s2, m1 + m2)
 
 let name_server_addrs t = t.candidates

@@ -7,11 +7,21 @@
     well-known name-server addresses (§3.4); with replicated servers (§7)
     requests fail over down the candidate list. Results are cached with a
     TTL: the caches are what let the system run with the name server removed
-    (§3.3, experiment E1). *)
+    (§3.3, experiment E1).
+
+    Under a sharded naming plane (DESIGN.md §15) — [Node.config.ns_shards]
+    non-trivial — the caches are the versioned {!Ntcs_naming.Ns_cache}:
+    entries carry the answering shard and its invalidation generation,
+    lookups route owner-first through the pinned shard map, and generation
+    observations piggybacked on versioned answers retire stale entries. A
+    stale hit resolves to a miss plus a fresh lookup, never a delivery on
+    the old circuit; relocation events splice-repair cached names. *)
 
 type t
 
-val create : Node.t -> Lcm_layer.t -> t
+val create : ?owner:string -> Node.t -> Lcm_layer.t -> t
+(** [owner] is the actor stamped on [ns.cache.*] trace events (the binding
+    ComMod's name; defaults to ["nsp"]). *)
 
 val request : t -> Ns_proto.request -> (Ns_proto.response, Errors.t) result
 (** One name-server round trip with replica failover. *)
@@ -39,8 +49,14 @@ val resolve : t -> Addr.t -> (Ns_proto.entry, Errors.t) result
 
 val forward_query : t -> Addr.t -> (Addr.t option, Errors.t) result
 (** Address-fault query (§3.5), never cached. [Some fresh] = replacement
-    located (name cache healed as a side effect); [None] = original still
-    alive, reconnect. *)
+    located (name cache splice-repaired as a side effect); [None] =
+    original still alive, reconnect. *)
+
+val note_relocated : t -> old_addr:Addr.t -> fresh:Addr.t -> unit
+(** Reconfiguration-driven invalidation: the LCM learned that [old_addr]
+    relocated to [fresh] (§3.5). Cached entries for [old_addr] are dropped
+    and cached names pointing at it are splice-repaired in place. Wired to
+    {!Lcm_layer.set_on_relocate} by [Commod.bind]. *)
 
 val gateways : t -> (Ns_proto.entry list, Errors.t) result
 (** Registered gateway ComMods — the centralized topology (§4.2). Cached. *)
@@ -49,5 +65,8 @@ val deregister : t -> Addr.t -> (unit, Errors.t) result
 
 val invalidate : t -> unit
 (** Drop every cache (test/experiment hook). *)
+
+val cache_stats : t -> int * int * int
+(** [(hits, stale, misses)] over both lookup caches since creation. *)
 
 val name_server_addrs : t -> Addr.t list

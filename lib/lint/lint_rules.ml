@@ -68,7 +68,7 @@ let protocol_path path =
   let p = norm path in
   List.exists
     (fun d -> has_sub ~sub:d p)
-    [ "lib/core"; "lib/ipcs"; "lib/sim"; "lib/drts"; "lib/ursa" ]
+    [ "lib/core"; "lib/ipcs"; "lib/sim"; "lib/drts"; "lib/ursa"; "lib/naming" ]
 
 (* Only the ND layer, the STD-IF shim and the IPCS library itself may name a
    concrete IPCS backend: everything above must stay backend-agnostic
@@ -154,7 +154,7 @@ let machine_path path =
   let p = norm path in
   List.exists
     (fun d -> has_sub ~sub:d p)
-    [ "lib/core"; "lib/ipcs"; "lib/drts"; "lib/ursa" ]
+    [ "lib/core"; "lib/ipcs"; "lib/drts"; "lib/ursa"; "lib/naming" ]
 
 (* Inventory scope for mutable record fields: instances of records declared
    in per-machine directories are owned by a machine's stack; everything

@@ -1,0 +1,107 @@
+(* Versioned NSP-side lookup cache (DESIGN.md §15).
+
+   An entry remembers, besides the cached value, which shard answered and
+   at which invalidation generation. Shard servers bump their generation on
+   every invalidation-class mutation (§3.5 relocation, deregistration,
+   death detected by a Forward probe) and piggyback it on every versioned
+   answer; the client folds those observations into a per-shard floor. A
+   cached entry whose generation has fallen below its shard's floor is a
+   *stale hit*: it must resolve to a miss plus a fresh lookup — never to a
+   delivery on the old circuit. That rule is what the cache-coherence trace
+   invariant (Check_naming) enforces end to end.
+
+   Built on the recency-ordered [Ntcs_util.Lru]: eviction order, predicate
+   invalidation and iteration are all deterministic, so equal-seed runs
+   stay byte-identical (lint rule R2 applies to this directory). *)
+
+type 'v entry = {
+  e_value : 'v;
+  e_shard : int; (* which shard's authority produced the value *)
+  e_gen : int; (* that shard's invalidation generation at answer time *)
+  e_expiry : int; (* absolute virtual time; the pre-existing TTL bound *)
+}
+
+type ('k, 'v) t = {
+  lru : ('k, 'v entry) Ntcs_util.Lru.t;
+  floors : int array; (* per-shard minimum acceptable generation *)
+  mutable hits : int;
+  mutable stale : int;
+  mutable misses : int;
+}
+
+let create ~capacity ~nshards =
+  {
+    lru = Ntcs_util.Lru.create (max 1 capacity);
+    floors = Array.make (max 1 nshards) 0;
+    hits = 0;
+    stale = 0;
+    misses = 0;
+  }
+
+let nshards t = Array.length t.floors
+
+let in_range t shard = shard >= 0 && shard < Array.length t.floors
+
+let floor t ~shard = if in_range t shard then t.floors.(shard) else 0
+
+type 'v outcome =
+  | Hit of 'v * int * int (* value, shard, gen — for the coherence trace *)
+  | Stale of 'v * int * int (* known value, but its shard invalidated that generation *)
+  | Miss
+
+let find t ~now key =
+  match Ntcs_util.Lru.find t.lru key with
+  | None ->
+    t.misses <- t.misses + 1;
+    Miss
+  | Some e when e.e_expiry < now ->
+    (* TTL expiry is an ordinary miss: nothing was proved wrong, the entry
+       just aged out. *)
+    Ntcs_util.Lru.remove t.lru key;
+    t.misses <- t.misses + 1;
+    Miss
+  | Some e when in_range t e.e_shard && e.e_gen < t.floors.(e.e_shard) ->
+    Ntcs_util.Lru.remove t.lru key;
+    t.stale <- t.stale + 1;
+    Stale (e.e_value, e.e_shard, e.e_gen)
+  | Some e ->
+    t.hits <- t.hits + 1;
+    Hit (e.e_value, e.e_shard, e.e_gen)
+
+(* Store a fresh answer. The effective generation is clamped up to the
+   shard's floor: the value just came from an authoritative answer, so it
+   is fresh *as of now* even when the answering server's counter restarted
+   below a previously observed generation (e.g. after a shard restart). *)
+let store t key ~value ~shard ~gen ~expiry =
+  let gen = if in_range t shard then max gen t.floors.(shard) else gen in
+  Ntcs_util.Lru.set t.lru key { e_value = value; e_shard = shard; e_gen = gen; e_expiry = expiry }
+
+(* Fold a generation observation from shard [shard] into the floor.
+   Invalidation is lazy: entries the new floor retires stay resident and
+   report {!Stale} on their next touch ([find] evicts them then), which
+   is what sends the caller back for a fresh lookup — the §3.5
+   splice-repair path. Eager eviction would be *too* strong: it would
+   turn every would-be stale hit into a plain miss and leave the stale
+   protocol (and its coherence invariant) unexercised. Returns how many
+   resident entries the new floor invalidated. *)
+let note_generation t ~shard ~gen =
+  if (not (in_range t shard)) || gen <= t.floors.(shard) then 0
+  else begin
+    t.floors.(shard) <- gen;
+    let n = ref 0 in
+    Ntcs_util.Lru.iter t.lru (fun _ e -> if e.e_shard = shard && e.e_gen < gen then incr n);
+    !n
+  end
+
+let invalidate_if t pred =
+  Ntcs_util.Lru.invalidate_if t.lru (fun k e -> pred k e.e_value)
+
+let remove t key = Ntcs_util.Lru.remove t.lru key
+
+let iter t f = Ntcs_util.Lru.iter t.lru (fun k e -> f k e.e_value ~shard:e.e_shard ~gen:e.e_gen)
+
+let clear t = Ntcs_util.Lru.clear t.lru
+
+let length t = Ntcs_util.Lru.length t.lru
+
+let stats t = (t.hits, t.stale, t.misses)

@@ -1,0 +1,56 @@
+(** Versioned lookup cache for the naming plane (DESIGN.md §15).
+
+    Entries carry the answering shard and that shard's invalidation
+    generation; the cache keeps a per-shard generation floor fed by
+    [note_generation]. An entry below its shard's floor is reported as
+    {!Stale} — the caller must treat it as a miss and re-look-up, never
+    deliver on it. Recency order, eviction and iteration are deterministic
+    (built on [Ntcs_util.Lru]). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> nshards:int -> ('k, 'v) t
+(** Both arguments are clamped to at least 1. *)
+
+val nshards : _ t -> int
+
+type 'v outcome =
+  | Hit of 'v * int * int
+      (** [(value, shard, gen)] — fresh: within TTL and at/above its
+          shard's floor *)
+  | Stale of 'v * int * int
+      (** the shard invalidated this generation — resolve as a miss; the
+          value is exposed only so callers can log/repair it *)
+  | Miss
+
+val find : ('k, 'v) t -> now:int -> 'k -> 'v outcome
+(** TTL-expired entries are ordinary misses; floor-invalidated entries are
+    {!Stale}. Either way the dead entry is evicted. *)
+
+val store : ('k, 'v) t -> 'k -> value:'v -> shard:int -> gen:int -> expiry:int -> unit
+(** Cache an authoritative answer. [gen] is clamped up to the shard's
+    current floor: a fresh answer is fresh even when the server's counter
+    restarted. *)
+
+val note_generation : ('k, 'v) t -> shard:int -> gen:int -> int
+(** Raise the shard's floor to [gen] (no-op if not higher). Invalidation
+    is lazy: retired entries report {!Stale} on their next [find] (and
+    are evicted then), sending the caller back for a fresh lookup.
+    Returns how many resident entries the new floor invalidated. *)
+
+val floor : ('k, 'v) t -> shard:int -> int
+(** Current generation floor of a shard (0 until first observation). *)
+
+val invalidate_if : ('k, 'v) t -> ('k -> 'v -> bool) -> int
+(** Predicate eviction over (key, value); returns the eviction count. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val iter : ('k, 'v) t -> ('k -> 'v -> shard:int -> gen:int -> unit) -> unit
+(** Recency order (most recently used first), like [Lru.iter]. *)
+
+val clear : ('k, 'v) t -> unit
+val length : ('k, 'v) t -> int
+
+val stats : ('k, 'v) t -> int * int * int
+(** [(hits, stale, misses)] since creation. *)

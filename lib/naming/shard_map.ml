@@ -1,0 +1,56 @@
+(* The pinned, versioned shard map of the naming plane (DESIGN.md §15).
+
+   The name space is partitioned across N replica name servers by a
+   deterministic hash of the logical name. Every party — clients' NSP
+   layers and the shard servers themselves — holds the same pinned map, so
+   ownership questions ("which shard answers for this name?") are decided
+   locally, identically, everywhere, without a directory round trip. The
+   map is versioned so a future re-sharding protocol can invalidate caches
+   wholesale; within one deployment the version is fixed at build time.
+
+   The module is polymorphic in the shard address type so it can live below
+   the core library (which instantiates it at [Addr.t]). *)
+
+type 'addr t = {
+  version : int; (* pinned at deployment; bumped only by re-sharding *)
+  owners : 'addr array; (* owners.(k) = well-known address of shard k *)
+}
+
+let make ~version owners =
+  if Array.length owners = 0 then invalid_arg "Shard_map.make: no shards";
+  if version <= 0 then invalid_arg "Shard_map.make: version must be positive";
+  { version; owners = Array.copy owners }
+
+let version t = t.version
+let nshards t = Array.length t.owners
+
+(* FNV-1a over the name bytes, folded to 30 bits so the result is a
+   tagged-int everywhere. Chosen for determinism across runs and builds —
+   [Hashtbl.hash] of a string is stable too, but spelling the function out
+   pins it against stdlib changes and makes the sharding auditable. *)
+let hash_name name =
+  (* The offset basis is folded to 30 bits up front so the empty name obeys
+     the 30-bit contract too. Nonempty hashes are unchanged: bits above 30
+     in a multiplicand cannot reach the low 30 bits of the product. *)
+  let h = ref (0x811C9DC5 land 0x3FFFFFFF) in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    name;
+  !h
+
+let shard_of_name t name =
+  if Array.length t.owners = 1 then 0 else hash_name name mod Array.length t.owners
+
+let owner t shard =
+  if shard < 0 || shard >= Array.length t.owners then
+    invalid_arg "Shard_map.owner: shard out of range";
+  t.owners.(shard)
+
+let owner_of_name t name = owner t (shard_of_name t name)
+
+(* Deterministic iteration order: ascending shard index, always. The map is
+   an array precisely so no hash-table walk can sneak into a protocol
+   decision (lint rule R2 covers lib/naming). *)
+let bindings t = Array.to_list (Array.mapi (fun i a -> (i, a)) t.owners)

@@ -1,0 +1,34 @@
+(** Pinned, versioned partition of the name space across replica name
+    servers (DESIGN.md §15).
+
+    Names are assigned to shards by a deterministic content hash, so every
+    NSP layer and every shard server derives the same owner for a name with
+    no directory round trip. Polymorphic in the shard address type so the
+    module can sit below the core library. *)
+
+type 'addr t
+
+val make : version:int -> 'addr array -> 'addr t
+(** [make ~version owners] pins [owners.(k)] as the well-known address of
+    shard [k]. The array is copied. Raises [Invalid_argument] when the
+    array is empty or [version <= 0]. *)
+
+val version : _ t -> int
+val nshards : _ t -> int
+
+val hash_name : string -> int
+(** The deterministic 30-bit FNV-1a name hash behind [shard_of_name] —
+    exposed so tests and benches can pre-compute shard ownership. *)
+
+val shard_of_name : _ t -> string -> int
+(** Which shard owns a logical name: [hash_name name mod nshards]. *)
+
+val owner : 'addr t -> int -> 'addr
+(** Well-known address of a shard. Raises [Invalid_argument] when out of
+    range. *)
+
+val owner_of_name : 'addr t -> string -> 'addr
+
+val bindings : 'addr t -> (int * 'addr) list
+(** All [(shard, owner)] pairs in ascending shard order — the one sanctioned
+    iteration order over the map. *)

@@ -52,6 +52,15 @@ let all =
     ("ns.register", "name server registered a binding");
     ("ns.forward", "name server forwarded a request");
     ("ns.bad_request", "name server rejected a malformed request");
+    (* Sharded naming plane (DESIGN.md §15). *)
+    ("ns.shard.forward", "shard router forwarded a request to the owning shard");
+    ("ns.shard.fallback", "shard owner unreachable: replica answered from its backup copy");
+    ("ns.shard.gen", "shard owner bumped its invalidation generation");
+    (* NSP-side lookup caches (versioned; only traced under a sharded plane). *)
+    ("ns.cache.hit", "NSP lookup cache answered fresh");
+    ("ns.cache.stale", "NSP lookup cache entry below its shard's generation floor (resolved as a miss)");
+    ("ns.cache.store", "NSP lookup cache stored an authoritative answer");
+    ("ns.cache.invalidate", "NSP lookup cache retired entries (generation floor raise or splice)");
     (* DRTS process control. *)
     ("pctl.bind_fail", "managed process failed to bind");
     ("pctl.kill", "managed process killed");

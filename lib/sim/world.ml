@@ -20,6 +20,17 @@ module Config = struct
         (* replay a recorded choice log; exhausted or out-of-range entries
            fall back to owner 0 (the deterministic default) *)
 
+  (* Naming-plane arm (DESIGN.md §15): how many shard name servers the
+     deployment builder should stand up, and how large the NSP-side lookup
+     caches are. Plain data here — the sim sits below lib/naming and
+     lib/core; Cluster.build reads it and does the wiring. *)
+  type naming = {
+    shards : int; (* 1 = the classic single/replicated name server *)
+    cache_capacity : int; (* per-ComMod NSP lookup-cache entries *)
+  }
+
+  let default_naming = { shards = 1; cache_capacity = 512 }
+
   type t = {
     seed : int;
     domains : int; (* shard count for Par worlds; 1 = plain sequential *)
@@ -28,6 +39,7 @@ module Config = struct
     races : bool; (* request the race checker; armed by Ntcs_check *)
     chooser : chooser;
     event_limit : int; (* 0 = unlimited *)
+    naming : naming; (* naming-plane shape, consumed by Cluster.build *)
   }
 
   let default =
@@ -39,6 +51,7 @@ module Config = struct
       races = false;
       chooser = Default;
       event_limit = 0;
+      naming = default_naming;
     }
 
   let mode c = { Sched.Mode.sanitize = c.sanitize; races = c.races }

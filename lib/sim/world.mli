@@ -24,6 +24,19 @@ module Config : sig
     | Choose of (time:int -> owners:int array -> int)
     | Replay of int list
 
+  (** Naming-plane shape (DESIGN.md §15), consumed by [Cluster.build]:
+      [shards > 1] stands up that many shard name servers (round-robin
+      over the declared NS machines) with a pinned shard map;
+      [cache_capacity] sizes every ComMod's NSP lookup caches. Plain data
+      — the sim itself never interprets it. *)
+  type naming = {
+    shards : int;  (** 1 = the classic single/replicated name server *)
+    cache_capacity : int;  (** per-ComMod NSP lookup-cache entries *)
+  }
+
+  val default_naming : naming
+  (** [{shards = 1; cache_capacity = 512}] *)
+
   type t = {
     seed : int;
     domains : int;  (** shard count for {!Par} worlds; 1 = sequential *)
@@ -38,11 +51,13 @@ module Config : sig
             and arms itself on any world whose {!val-mode} asks for it *)
     chooser : chooser;
     event_limit : int;  (** abort backstop; 0 = unlimited *)
+    naming : naming;  (** naming-plane shape (see {!type-naming}) *)
   }
 
   val default : t
   (** [{seed = 42; domains = 1; faults = None; sanitize = false;
-      races = false; chooser = Default; event_limit = 0}] *)
+      races = false; chooser = Default; event_limit = 0;
+      naming = default_naming}] *)
 
   val mode : t -> Sched.Mode.t
   (** The scheduler-instrumentation view of this config. *)

@@ -79,6 +79,26 @@ let remove t key =
     unlink t node;
     Hashtbl.remove t.table key
 
+(* Predicate eviction: drop every entry [pred] selects, preserving the
+   recency order of the survivors (nodes are unlinked in place; the list
+   spine of the keepers is untouched). Walks the recency list so the
+   decision order is deterministic (MRU first), like [iter]. *)
+let invalidate_if t pred =
+  let dropped = ref 0 in
+  let rec go = function
+    | None -> ()
+    | Some node ->
+      let next = node.next in
+      if pred node.key node.value then begin
+        unlink t node;
+        Hashtbl.remove t.table node.key;
+        incr dropped
+      end;
+      go next
+  in
+  go t.head;
+  !dropped
+
 let length t = Hashtbl.length t.table
 
 let clear t =

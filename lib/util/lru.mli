@@ -15,6 +15,13 @@ val set : ('k, 'v) t -> 'k -> 'v -> unit
 (** Insert or update, evicting the least-recently-used entry when full. *)
 
 val remove : ('k, 'v) t -> 'k -> unit
+
+val invalidate_if : ('k, 'v) t -> ('k -> 'v -> bool) -> int
+(** Evict every entry the predicate selects and return how many were
+    dropped. Survivors keep their relative recency order; hit/miss
+    counters are untouched. The predicate is consulted in recency order
+    (most recently used first) and must not mutate the cache. *)
+
 val length : ('k, 'v) t -> int
 val clear : ('k, 'v) t -> unit
 

@@ -21,8 +21,8 @@ let test_automaton_tables_cover_protocol () =
   (* Every kind the table declares maps to some handler list; the dynamic
      checker's vocabulary (inputs_of) round-trips through the table. *)
   Alcotest.(check int) "eleven kinds" 11 (List.length Check_auto.kinds);
-  Alcotest.(check int) "nine requests" 9 (List.length Check_auto.ns_requests);
-  Alcotest.(check int) "eight responses" 8 (List.length Check_auto.ns_responses)
+  Alcotest.(check int) "eleven requests" 11 (List.length Check_auto.ns_requests);
+  Alcotest.(check int) "ten responses" 10 (List.length Check_auto.ns_responses)
 
 (* --- seeded handler gap (static) --- *)
 

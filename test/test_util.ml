@@ -117,6 +117,44 @@ let test_lru_stats_and_remove () =
     (Invalid_argument "Lru.create: capacity must be positive") (fun () ->
       ignore (Lru.create 0))
 
+(* Model-based properties for predicate eviction: against the snapshot of
+   the recency order, [invalidate_if] must drop exactly the selected
+   entries, keep the survivors in their relative order, and leave hit/miss
+   accounting alone. *)
+let lru_props =
+  [
+    QCheck.Test.make ~name:"invalidate_if: count, survivors, recency order"
+      ~count:300
+      (QCheck.make QCheck.Gen.(list_size (0 -- 40) (pair (int_bound 7) (int_bound 100))))
+      (fun ops ->
+        let c = Lru.create 4 in
+        List.iter (fun (k, v) -> Lru.set c k v) ops;
+        let snapshot cache =
+          let acc = ref [] in
+          Lru.iter cache (fun k v -> acc := (k, v) :: !acc);
+          List.rev !acc
+        in
+        let pred _ v = v mod 2 = 0 in
+        let before = snapshot c in
+        let stats_before = Lru.stats c in
+        let dropped = Lru.invalidate_if c pred in
+        let after = snapshot c in
+        let selected, survivors = List.partition (fun (k, v) -> pred k v) before in
+        dropped = List.length selected
+        && after = survivors
+        && Lru.length c = List.length survivors
+        && Lru.stats c = stats_before
+        && List.for_all (fun (k, _) -> not (Lru.mem c k)) selected);
+    QCheck.Test.make ~name:"invalidate_if: false predicate is the identity"
+      ~count:100
+      (QCheck.make QCheck.Gen.(list_size (0 -- 20) (pair (int_bound 5) (int_bound 100))))
+      (fun ops ->
+        let c = Lru.create 4 in
+        List.iter (fun (k, v) -> Lru.set c k v) ops;
+        let len = Lru.length c in
+        Lru.invalidate_if c (fun _ _ -> false) = 0 && Lru.length c = len);
+  ]
+
 let test_bqueue () =
   let q = Bqueue.create 2 in
   Alcotest.(check bool) "push 1" true (Bqueue.push q 1);
@@ -198,11 +236,10 @@ let () =
           Alcotest.test_case "stability by seq" `Quick test_heap_stability_by_seq;
         ] );
       ( "lru",
-        [
-          Alcotest.test_case "basics" `Quick test_lru_basics;
-          Alcotest.test_case "update refreshes" `Quick test_lru_update_refreshes;
-          Alcotest.test_case "stats and remove" `Quick test_lru_stats_and_remove;
-        ] );
+        Alcotest.test_case "basics" `Quick test_lru_basics
+        :: Alcotest.test_case "update refreshes" `Quick test_lru_update_refreshes
+        :: Alcotest.test_case "stats and remove" `Quick test_lru_stats_and_remove
+        :: List.map QCheck_alcotest.to_alcotest lru_props );
       ("bqueue", [ Alcotest.test_case "bounded fifo" `Quick test_bqueue ]);
       ( "stats",
         [
